@@ -1,0 +1,222 @@
+package lynceus
+
+// Benchmark regeneration targets: one benchmark per table and figure of the
+// paper's evaluation, plus ablation benchmarks for the design choices called
+// out in DESIGN.md.
+//
+// The figure/table benchmarks drive the same experiment pipeline as
+// cmd/lynceus-exp, scaled down to bench size (one Tensorflow job, one run per
+// cell, lookahead 1, reduced Scout/CherryPick job counts) so that
+// `go test -bench=.` completes in minutes. The full-scale regeneration is
+// performed with:
+//
+//	go run ./cmd/lynceus-exp -exp <id> -runs 100
+//
+// All figure benchmarks share a single experiment Suite so that cells
+// computed by one benchmark are reused by the others (exactly like a single
+// lynceus-exp invocation); their ns/op numbers therefore measure the
+// incremental work of each artifact, not independent end-to-end runs.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bagging"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/optimizer"
+	"repro/internal/simulator"
+)
+
+var (
+	benchSuiteOnce sync.Once
+	benchSuite     *experiments.Suite
+)
+
+// sharedBenchSuite returns the bench-scale experiment suite shared by the
+// figure/table benchmarks.
+func sharedBenchSuite() *experiments.Suite {
+	benchSuiteOnce.Do(func() {
+		benchSuite = experiments.NewSuite(experiments.Options{
+			Runs:               1,
+			Seed:               1,
+			TensorflowJobLimit: 1,
+			ScoutJobLimit:      2,
+			CherryPickJobLimit: 1,
+			Lookahead:          1,
+			Lookaheads:         []int{0, 1},
+			BudgetMultipliers:  []float64{1, 3},
+			EnsembleTrees:      5,
+		})
+	})
+	return benchSuite
+}
+
+func benchmarkExperiment(b *testing.B, id string) {
+	b.Helper()
+	suite := sharedBenchSuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := suite.Run(id); err != nil {
+			b.Fatalf("experiment %s: %v", id, err)
+		}
+	}
+}
+
+// Table 1 and Table 2: static configuration tables.
+func BenchmarkTable1HyperParameters(b *testing.B) { benchmarkExperiment(b, "tab1") }
+func BenchmarkTable2CloudConfigs(b *testing.B)    { benchmarkExperiment(b, "tab2") }
+
+// Figure 1a and 1b: dataset structure and disjoint-optimization analysis.
+func BenchmarkFig1aCostSpread(b *testing.B) { benchmarkExperiment(b, "fig1a") }
+func BenchmarkFig1bDisjoint(b *testing.B)   { benchmarkExperiment(b, "fig1b") }
+
+// Figures 4-9: the optimizer comparison campaign.
+func BenchmarkFig4TensorflowCDF(b *testing.B)   { benchmarkExperiment(b, "fig4") }
+func BenchmarkFig5ScoutCherryPick(b *testing.B) { benchmarkExperiment(b, "fig5") }
+func BenchmarkFig6Lookahead(b *testing.B)       { benchmarkExperiment(b, "fig6") }
+func BenchmarkFig7Convergence(b *testing.B)     { benchmarkExperiment(b, "fig7") }
+func BenchmarkFig8BudgetSweep(b *testing.B)     { benchmarkExperiment(b, "fig8") }
+func BenchmarkFig9Explorations(b *testing.B)    { benchmarkExperiment(b, "fig9") }
+
+// Table 3: time to compute the next configuration. The benchmark times a
+// whole optimization run on the 384-point Tensorflow space with a budget that
+// leaves only a handful of post-bootstrap decisions, so ns/op tracks the
+// per-decision planning cost of each optimizer (the campaign's tab3
+// experiment reports the normalized per-decision seconds).
+func benchmarkTable3(b *testing.B, opt Optimizer) {
+	b.Helper()
+	job, err := SyntheticTensorflowJob("cnn", 42)
+	if err != nil {
+		b.Fatalf("SyntheticTensorflowJob: %v", err)
+	}
+	env, err := NewJobEnvironment(job)
+	if err != nil {
+		b.Fatalf("NewJobEnvironment: %v", err)
+	}
+	tmax, err := job.RuntimeForFeasibleFraction(0.5)
+	if err != nil {
+		b.Fatalf("RuntimeForFeasibleFraction: %v", err)
+	}
+	bootstrap, err := optimizer.ResolveBootstrapSize(job.Space(), Options{Budget: 1, MaxRuntimeSeconds: 1})
+	if err != nil {
+		b.Fatalf("ResolveBootstrapSize: %v", err)
+	}
+	opts := Options{
+		// Slightly more than the bootstrap cost: a few decisions only.
+		Budget:            float64(bootstrap) * job.MeanCost() * 1.1,
+		MaxRuntimeSeconds: tmax,
+		Seed:              1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.Optimize(env, opts); err != nil {
+			b.Fatalf("Optimize: %v", err)
+		}
+	}
+}
+
+func BenchmarkTable3NextConfigBO(b *testing.B) {
+	bo, err := NewBOBaseline()
+	if err != nil {
+		b.Fatalf("NewBOBaseline: %v", err)
+	}
+	benchmarkTable3(b, bo)
+}
+
+func BenchmarkTable3NextConfigLynceusLA1(b *testing.B) {
+	lyn, err := NewTuner(TunerConfig{Lookahead: 1})
+	if err != nil {
+		b.Fatalf("NewTuner: %v", err)
+	}
+	benchmarkTable3(b, lyn)
+}
+
+func BenchmarkTable3NextConfigLynceusLA2(b *testing.B) {
+	lyn, err := NewTuner(TunerConfig{Lookahead: 2})
+	if err != nil {
+		b.Fatalf("NewTuner: %v", err)
+	}
+	benchmarkTable3(b, lyn)
+}
+
+// Ablation benchmarks: design choices called out in DESIGN.md, exercised on a
+// Scout-sized job (72 configurations) so each variant completes quickly.
+func benchmarkAblation(b *testing.B, params core.Params) {
+	b.Helper()
+	jobs, err := SyntheticScoutJobs(42)
+	if err != nil {
+		b.Fatalf("SyntheticScoutJobs: %v", err)
+	}
+	job := jobs[0]
+	lyn, err := core.New(params)
+	if err != nil {
+		b.Fatalf("core.New: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simulator.Evaluate(lyn, simulator.Config{Job: job, Runs: 1, BaseSeed: int64(i) + 1}); err != nil {
+			b.Fatalf("Evaluate: %v", err)
+		}
+	}
+}
+
+func BenchmarkAblationGHOrder2(b *testing.B) {
+	benchmarkAblation(b, core.Params{Lookahead: 1, GHOrder: 2, Model: bagging.Params{NumTrees: 10}})
+}
+
+func BenchmarkAblationGHOrder5(b *testing.B) {
+	benchmarkAblation(b, core.Params{Lookahead: 1, GHOrder: 5, Model: bagging.Params{NumTrees: 10}})
+}
+
+func BenchmarkAblationNoDiscount(b *testing.B) {
+	benchmarkAblation(b, core.Params{Lookahead: 1, NoDiscount: true, Model: bagging.Params{NumTrees: 10}})
+}
+
+func BenchmarkAblationEnsemble5Trees(b *testing.B) {
+	benchmarkAblation(b, core.Params{Lookahead: 1, Model: bagging.Params{NumTrees: 5}})
+}
+
+func BenchmarkAblationEnsemble20Trees(b *testing.B) {
+	benchmarkAblation(b, core.Params{Lookahead: 1, Model: bagging.Params{NumTrees: 20}})
+}
+
+func BenchmarkAblationEligibility90(b *testing.B) {
+	benchmarkAblation(b, core.Params{Lookahead: 1, EligibilityProb: 0.90, Model: bagging.Params{NumTrees: 10}})
+}
+
+// BenchmarkEnsembleFitPredict measures the cost model alone: one fit plus a
+// full-space prediction sweep, the inner loop of every planning step.
+func BenchmarkEnsembleFitPredict(b *testing.B) {
+	job, err := SyntheticTensorflowJob("cnn", 42)
+	if err != nil {
+		b.Fatalf("SyntheticTensorflowJob: %v", err)
+	}
+	space := job.Space()
+	features := make([][]float64, 0, 40)
+	costs := make([]float64, 0, 40)
+	for id := 0; id < 40; id++ {
+		cfg, err := space.Config(id * 7 % space.Size())
+		if err != nil {
+			b.Fatalf("Config: %v", err)
+		}
+		m, err := job.Measurement(cfg.ID)
+		if err != nil {
+			b.Fatalf("Measurement: %v", err)
+		}
+		features = append(features, cfg.Features)
+		costs = append(costs, m.Cost)
+	}
+	ensemble := bagging.New(bagging.Params{NumTrees: 10}, 1)
+	all := space.Configs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ensemble.Fit(features, costs); err != nil {
+			b.Fatalf("Fit: %v", err)
+		}
+		for _, cfg := range all {
+			if _, err := ensemble.Predict(cfg.Features); err != nil {
+				b.Fatalf("Predict: %v", err)
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command lynceus-datagen emits the synthetic datasets used by the
+// reproduction (Tensorflow, Scout and CherryPick job families) as CSV lookup
+// tables that lynceus-tune and the library can consume.
+//
+// Usage:
+//
+//	lynceus-datagen -dataset tensorflow -out data/
+//	lynceus-datagen -dataset scout -job hibench-terasort -out data/
+//	lynceus-datagen -dataset all -out data/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	lynceus "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lynceus-datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		datasetName = flag.String("dataset", "all", "dataset family to generate: tensorflow, scout, cherrypick or all")
+		jobName     = flag.String("job", "", "generate only the named job (optional)")
+		seed        = flag.Int64("seed", 42, "seed of the synthetic generators")
+		outDir      = flag.String("out", "data", "output directory for the CSV files")
+	)
+	flag.Parse()
+
+	jobs, err := generate(*datasetName, *seed)
+	if err != nil {
+		return err
+	}
+	if *jobName != "" {
+		filtered := jobs[:0]
+		for _, j := range jobs {
+			if j.Name() == *jobName {
+				filtered = append(filtered, j)
+			}
+		}
+		if len(filtered) == 0 {
+			return fmt.Errorf("no job named %q in dataset %q", *jobName, *datasetName)
+		}
+		jobs = filtered
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return fmt.Errorf("creating output directory: %w", err)
+	}
+	for _, job := range jobs {
+		path := filepath.Join(*outDir, job.Name()+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", path, err)
+		}
+		if err := lynceus.WriteJobCSV(f, job); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("closing %s: %w", path, err)
+		}
+		fmt.Printf("wrote %s (%d configurations)\n", path, job.Size())
+	}
+	return nil
+}
+
+func generate(datasetName string, seed int64) ([]*lynceus.Job, error) {
+	switch datasetName {
+	case "tensorflow":
+		return lynceus.SyntheticTensorflowJobs(seed)
+	case "scout":
+		return lynceus.SyntheticScoutJobs(seed)
+	case "cherrypick":
+		return lynceus.SyntheticCherryPickJobs(seed)
+	case "all":
+		var all []*lynceus.Job
+		for _, name := range []string{"tensorflow", "scout", "cherrypick"} {
+			jobs, err := generate(name, seed)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, jobs...)
+		}
+		return all, nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want tensorflow, scout, cherrypick or all)", datasetName)
+	}
+}

@@ -1,0 +1,112 @@
+// Command lynceus-exp regenerates the tables and figures of the paper's
+// evaluation against the synthetic datasets.
+//
+// Usage:
+//
+//	lynceus-exp -exp fig4,fig6 -runs 20 -out results/
+//	lynceus-exp -exp all -runs 5
+//
+// Each experiment writes an ASCII report to stdout and, when -out is given,
+// one <experiment>.txt file per experiment (written incrementally, so partial
+// campaigns still leave results behind).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lynceus-exp:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		expList    = flag.String("exp", "all", "comma-separated experiment IDs ("+strings.Join(experiments.IDs(), ", ")+") or 'all'")
+		runs       = flag.Int("runs", 10, "optimization runs per (job, optimizer, budget) cell")
+		seed       = flag.Int64("seed", 1, "base seed for the optimization runs")
+		dataSeed   = flag.Int64("dataset-seed", 42, "seed of the synthetic dataset generators")
+		scoutLimit = flag.Int("scout-jobs", 0, "limit the number of Scout jobs (0 = all 18)")
+		cpLimit    = flag.Int("cherrypick-jobs", 0, "limit the number of CherryPick jobs (0 = all 5)")
+		lookahead  = flag.Int("lookahead", 0, "lookahead window of the full Lynceus configuration (0 = paper default 2)")
+		outDir     = flag.String("out", "", "directory to write per-experiment result files (optional)")
+		csvOut     = flag.Bool("csv", false, "additionally write each result table as CSV next to the .txt report (requires -out)")
+		list       = flag.Bool("list", false, "list the available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-7s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	ids := experiments.IDs()
+	if *expList != "all" {
+		ids = strings.Split(*expList, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return fmt.Errorf("creating output directory: %w", err)
+		}
+	}
+
+	suite := experiments.NewSuite(experiments.Options{
+		Runs:               *runs,
+		Seed:               *seed,
+		DatasetSeed:        *dataSeed,
+		ScoutJobLimit:      *scoutLimit,
+		CherryPickJobLimit: *cpLimit,
+		Lookahead:          *lookahead,
+	})
+
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := suite.Run(id)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "=== %s (runs=%d, seed=%d, elapsed=%.1fs) ===\n", id, *runs, *seed, time.Since(start).Seconds())
+		for _, table := range tables {
+			if err := table.WriteASCII(&sb); err != nil {
+				return fmt.Errorf("experiment %s: rendering: %w", id, err)
+			}
+			sb.WriteString("\n")
+		}
+		fmt.Print(sb.String())
+		if *outDir != "" {
+			path := filepath.Join(*outDir, id+".txt")
+			if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+				return fmt.Errorf("experiment %s: writing %s: %w", id, path, err)
+			}
+			if *csvOut {
+				var csv strings.Builder
+				for _, table := range tables {
+					if err := table.WriteCSV(&csv); err != nil {
+						return fmt.Errorf("experiment %s: rendering CSV: %w", id, err)
+					}
+					csv.WriteString("\n")
+				}
+				csvPath := filepath.Join(*outDir, id+".csv")
+				if err := os.WriteFile(csvPath, []byte(csv.String()), 0o644); err != nil {
+					return fmt.Errorf("experiment %s: writing %s: %w", id, csvPath, err)
+				}
+			}
+		}
+	}
+	return nil
+}

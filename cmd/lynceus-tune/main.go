@@ -1,0 +1,119 @@
+// Command lynceus-tune runs the Lynceus tuner (or one of the baselines)
+// against a profiled job stored as a CSV lookup table, and prints the
+// recommended configuration together with the exploration log.
+//
+// Usage:
+//
+//	lynceus-datagen -dataset tensorflow -job cnn -out data/
+//	lynceus-tune -dataset data/cnn.csv -budget 2.5 -tmax 300
+//	lynceus-tune -dataset data/cnn.csv -budget-multiplier 3 -optimizer bo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	lynceus "repro"
+	"repro/internal/optimizer"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lynceus-tune:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		datasetPath      = flag.String("dataset", "", "path to the job's CSV lookup table (required)")
+		budget           = flag.Float64("budget", 0, "profiling budget in USD (overrides -budget-multiplier)")
+		budgetMultiplier = flag.Float64("budget-multiplier", 3, "budget as a multiple of the expected bootstrap cost (paper's b parameter)")
+		tmax             = flag.Float64("tmax", 0, "maximum acceptable job runtime in seconds (0 = derive so half of the configurations qualify)")
+		feasibleFraction = flag.Float64("feasible-fraction", 0.5, "fraction of configurations that must satisfy the derived runtime constraint")
+		optimizerName    = flag.String("optimizer", "lynceus", "optimizer to use: lynceus, bo or rnd")
+		lookahead        = flag.Int("lookahead", 2, "Lynceus lookahead window (0 = myopic cost-aware variant)")
+		seed             = flag.Int64("seed", 1, "random seed")
+		verbose          = flag.Bool("v", false, "print every exploration, not only the recommendation")
+	)
+	flag.Parse()
+
+	if *datasetPath == "" {
+		return fmt.Errorf("missing required -dataset flag")
+	}
+	f, err := os.Open(*datasetPath)
+	if err != nil {
+		return fmt.Errorf("opening dataset: %w", err)
+	}
+	defer f.Close()
+	job, err := lynceus.ReadJobCSV(f)
+	if err != nil {
+		return fmt.Errorf("parsing dataset: %w", err)
+	}
+
+	maxRuntime := *tmax
+	if maxRuntime <= 0 {
+		maxRuntime, err = job.RuntimeForFeasibleFraction(*feasibleFraction)
+		if err != nil {
+			return fmt.Errorf("deriving runtime constraint: %w", err)
+		}
+	}
+
+	totalBudget := *budget
+	if totalBudget <= 0 {
+		bootstrap, err := optimizer.ResolveBootstrapSize(job.Space(), lynceus.Options{Budget: 1, MaxRuntimeSeconds: 1})
+		if err != nil {
+			return err
+		}
+		totalBudget = float64(bootstrap) * job.MeanCost() * *budgetMultiplier
+	}
+
+	var opt lynceus.Optimizer
+	switch *optimizerName {
+	case "lynceus":
+		opt, err = lynceus.NewTuner(lynceus.TunerConfig{Lookahead: *lookahead, Myopic: *lookahead == 0})
+	case "bo":
+		opt, err = lynceus.NewBOBaseline()
+	case "rnd":
+		opt = lynceus.NewRandomBaseline()
+	default:
+		return fmt.Errorf("unknown optimizer %q (want lynceus, bo or rnd)", *optimizerName)
+	}
+	if err != nil {
+		return fmt.Errorf("creating optimizer: %w", err)
+	}
+
+	env, err := lynceus.NewJobEnvironment(job)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job=%s configs=%d budget=%.4f$ tmax=%.1fs optimizer=%s\n",
+		job.Name(), job.Size(), totalBudget, maxRuntime, opt.Name())
+
+	res, err := opt.Optimize(env, lynceus.Options{
+		Budget:            totalBudget,
+		MaxRuntimeSeconds: maxRuntime,
+		Seed:              *seed,
+	})
+	if err != nil {
+		return fmt.Errorf("optimizing: %w", err)
+	}
+
+	if *verbose {
+		fmt.Println("\nexploration log:")
+		for i, tr := range res.Trials {
+			fmt.Printf("  %3d  %-60s runtime=%7.1fs cost=%.4f$\n",
+				i+1, job.Space().Describe(tr.Config), tr.RuntimeSeconds, tr.Cost)
+		}
+	}
+
+	fmt.Printf("\nexplorations: %d\nbudget spent: %.4f$ of %.4f$\n", res.Explorations, res.SpentBudget, res.InitialBudget)
+	fmt.Printf("recommended:  %s\n", job.Space().Describe(res.Recommended.Config))
+	fmt.Printf("  runtime %.1fs, cost %.4f$ per execution (feasible: %v)\n",
+		res.Recommended.RuntimeSeconds, res.Recommended.Cost, res.RecommendedFeasible)
+	if opt, err := job.Optimum(maxRuntime); err == nil {
+		fmt.Printf("  cost normalized to the true optimum (CNO): %.3f\n", res.Recommended.Cost/opt.Cost)
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+// Gaussian-Process model example: run Lynceus with the alternative cost model
+// mentioned in the paper (§3, footnote 1) — a Gaussian Process instead of the
+// default bagging ensemble of regression trees — and compare the two on the
+// same Spark-style provisioning task.
+//
+//	go run ./examples/gpmodel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	lynceus "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gpmodel:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		runs = flag.Int("runs", 5, "optimization runs per model family")
+		seed = flag.Int64("seed", 1, "base seed")
+	)
+	flag.Parse()
+
+	jobs, err := lynceus.SyntheticScoutJobs(42)
+	if err != nil {
+		return err
+	}
+	job := jobs[3] // hibench-kmeans: CPU-bound, benefits from c4 instances
+
+	models := []struct {
+		label string
+		cfg   lynceus.TunerConfig
+	}{
+		{label: "bagging ensemble (paper default)", cfg: lynceus.TunerConfig{Lookahead: 1}},
+		{label: "gaussian process (footnote-1 variant)", cfg: lynceus.TunerConfig{Lookahead: 1, CostModel: "gp"}},
+	}
+
+	fmt.Printf("provisioning %s (%d configurations), %d runs per model\n\n", job.Name(), job.Size(), *runs)
+	for _, m := range models {
+		tuner, err := lynceus.NewTuner(m.cfg)
+		if err != nil {
+			return err
+		}
+		eval, err := lynceus.Evaluate(tuner, lynceus.EvaluationConfig{
+			Job:      job,
+			Runs:     *runs,
+			BaseSeed: *seed,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.label, err)
+		}
+		cno, err := eval.CNOSummary()
+		if err != nil {
+			return err
+		}
+		nex, err := eval.NEXSummary()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("[%s]\n", m.label)
+		fmt.Printf("  CNO avg %.3f, p90 %.3f; NEX avg %.1f\n\n", cno.Mean, cno.P90, nex.Mean)
+	}
+	fmt.Println("Both model families plug into the same planner; pick with TunerConfig.CostModel.")
+	return nil
+}

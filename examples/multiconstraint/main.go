@@ -1,0 +1,92 @@
+// Multi-constraint example: exercise the §4.4 extension that supports
+// additional "metric <= threshold" constraints beyond the maximum runtime.
+//
+// The synthetic Tensorflow jobs attach an energy metric to every
+// configuration; this example tunes the CNN job once with only the runtime
+// constraint and once with an additional energy cap, and shows how the
+// recommendation shifts to smaller clusters when energy is constrained.
+//
+//	go run ./examples/multiconstraint
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	lynceus "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "multiconstraint:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		energyCap = flag.Float64("energy-cap", 2.0, "maximum energy per execution (synthetic kJ units)")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	job, err := lynceus.SyntheticTensorflowJob("cnn", 42)
+	if err != nil {
+		return err
+	}
+	env, err := lynceus.NewJobEnvironment(job)
+	if err != nil {
+		return err
+	}
+	tmax, err := job.RuntimeForFeasibleFraction(0.5)
+	if err != nil {
+		return err
+	}
+
+	// Lookahead 1 keeps the multi-constraint speculation (which branches on
+	// the joint cost x energy outcomes) fast enough for an example.
+	tuner, err := lynceus.NewTuner(lynceus.TunerConfig{Lookahead: 1})
+	if err != nil {
+		return err
+	}
+
+	base := lynceus.Options{
+		Budget:            36 * job.MeanCost(),
+		MaxRuntimeSeconds: tmax,
+		Seed:              *seed,
+	}
+
+	fmt.Printf("tuning %s with Tmax=%.0fs, budget %.2f$\n\n", job.Name(), tmax, base.Budget)
+
+	// Run 1: runtime constraint only.
+	unconstrained, err := tuner.Optimize(env, base)
+	if err != nil {
+		return err
+	}
+	describe(job, "runtime constraint only", unconstrained)
+
+	// Run 2: runtime + energy constraint.
+	constrained := base
+	constrained.ExtraConstraints = []lynceus.Constraint{{Metric: lynceus.EnergyMetric, Max: *energyCap}}
+	withEnergy, err := tuner.Optimize(env, constrained)
+	if err != nil {
+		return err
+	}
+	describe(job, fmt.Sprintf("runtime + energy <= %.1f", *energyCap), withEnergy)
+
+	if withEnergy.RecommendedFeasible &&
+		withEnergy.Recommended.Extra[lynceus.EnergyMetric] > *energyCap {
+		return fmt.Errorf("recommendation violates the energy cap")
+	}
+	return nil
+}
+
+func describe(job *lynceus.Job, label string, res lynceus.Result) {
+	fmt.Printf("[%s]\n", label)
+	fmt.Printf("  explorations: %d, spent %.2f$\n", res.Explorations, res.SpentBudget)
+	fmt.Printf("  recommended:  %s\n", job.Space().Describe(res.Recommended.Config))
+	fmt.Printf("  runtime %.0fs, cost %.4f$, energy %.2f (feasible: %v)\n\n",
+		res.Recommended.RuntimeSeconds, res.Recommended.Cost,
+		res.Recommended.Extra[lynceus.EnergyMetric], res.RecommendedFeasible)
+}

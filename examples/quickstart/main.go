@@ -1,0 +1,87 @@
+// Quickstart: tune a small synthetic job end-to-end with the default Lynceus
+// configuration.
+//
+// The example builds a tiny configuration space (one job parameter, one
+// cluster-size dimension), fills in a profiled lookup table with a simple
+// analytical performance model, and asks Lynceus for the cheapest
+// configuration that finishes within the runtime constraint.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	lynceus "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Describe the configuration space: a batch-size-like job parameter
+	//    and the number of worker VMs.
+	space, err := lynceus.NewSpace([]lynceus.Dimension{
+		{Name: "batch_size", Values: []float64{16, 64, 256}},
+		{Name: "workers", Values: []float64{2, 4, 8, 16, 32}},
+	}, nil)
+	if err != nil {
+		return err
+	}
+
+	// 2. Provide the profiled lookup table. A real deployment would instead
+	//    implement lynceus.Environment against the cloud provider; here we
+	//    synthesize T(x) and C(x) from a simple scaling model.
+	const pricePerWorkerHour = 0.10
+	measurements := make([]lynceus.Measurement, space.Size())
+	for _, cfg := range space.Configs() {
+		batch := cfg.Features[0]
+		workers := cfg.Features[1]
+		// Larger batches waste some work; more workers help sub-linearly.
+		runtime := 5400 * (1 + 0.002*batch) / math.Pow(workers, 0.75)
+		price := workers * pricePerWorkerHour
+		measurements[cfg.ID] = lynceus.Measurement{
+			ConfigID:         cfg.ID,
+			RuntimeSeconds:   runtime,
+			UnitPricePerHour: price,
+			Cost:             runtime / 3600 * price,
+		}
+	}
+	job, err := lynceus.NewJob("quickstart", space, measurements, 0)
+	if err != nil {
+		return err
+	}
+	env, err := lynceus.NewJobEnvironment(job)
+	if err != nil {
+		return err
+	}
+
+	// 3. Tune under a budget and a 30-minute runtime constraint.
+	result, err := lynceus.Tune(env, lynceus.Options{
+		Budget:            5 * job.MeanCost(), // medium budget (b=5 bootstrap runs)
+		MaxRuntimeSeconds: 1800,
+		Seed:              1,
+	})
+	if err != nil {
+		return err
+	}
+
+	// 4. Inspect the outcome.
+	fmt.Printf("profiled %d of %d configurations, spending %.3f$ of the %.3f$ budget\n",
+		result.Explorations, space.Size(), result.SpentBudget, result.InitialBudget)
+	fmt.Printf("recommended configuration: %s\n", space.Describe(result.Recommended.Config))
+	fmt.Printf("  expected runtime %.0fs, cost %.4f$ per execution (meets constraint: %v)\n",
+		result.Recommended.RuntimeSeconds, result.Recommended.Cost, result.RecommendedFeasible)
+
+	if optimum, err := job.Optimum(1800); err == nil {
+		fmt.Printf("  true optimum costs %.4f$ -> CNO %.3f\n",
+			optimum.Cost, result.Recommended.Cost/optimum.Cost)
+	}
+	return nil
+}

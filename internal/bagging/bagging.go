@@ -1,0 +1,178 @@
+// Package bagging implements the bootstrap-aggregated ensemble of regression
+// trees that Lynceus uses as its black-box cost model (paper §3): each of the
+// ensemble's trees is trained on a random sub-set of the profiled
+// configurations, and the spread of the individual tree predictions provides
+// the per-point mean and standard deviation that the constrained Expected
+// Improvement acquisition function interprets as a Gaussian.
+package bagging
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/numeric"
+	"repro/internal/regtree"
+)
+
+// ErrNotTrained is returned when Predict is called before Fit.
+var ErrNotTrained = errors.New("bagging: ensemble is not trained")
+
+// DefaultNumTrees is the ensemble size used by the paper's prototype
+// ("a bagging ensemble of 10 random trees", §5.2).
+const DefaultNumTrees = 10
+
+// Params configures the ensemble.
+type Params struct {
+	// NumTrees is the number of base learners; values below 1 fall back to
+	// DefaultNumTrees.
+	NumTrees int
+	// SampleFraction is the size of each bootstrap resample relative to the
+	// training set; values outside (0,1] fall back to 1.
+	SampleFraction float64
+	// Tree configures the base learners.
+	Tree regtree.Params
+	// MinStdDevFraction is a lower bound on the predictive standard
+	// deviation, expressed as a fraction of the predicted mean's magnitude.
+	// A small floor keeps the Expected Improvement from collapsing to zero
+	// when all trees agree exactly (which happens routinely with the tiny
+	// training sets of early optimization iterations). Values below 0 are
+	// treated as 0.
+	MinStdDevFraction float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.NumTrees < 1 {
+		p.NumTrees = DefaultNumTrees
+	}
+	if p.SampleFraction <= 0 || p.SampleFraction > 1 {
+		p.SampleFraction = 1
+	}
+	if p.MinStdDevFraction < 0 {
+		p.MinStdDevFraction = 0
+	}
+	return p
+}
+
+// Ensemble is a bagging ensemble of regression trees. An Ensemble is not safe
+// for concurrent mutation: call Fit from a single goroutine; Predict may be
+// called concurrently once Fit has returned.
+type Ensemble struct {
+	params      Params
+	rng         *rand.Rand
+	trees       []*regtree.Tree
+	numFeatures int
+}
+
+// New creates an untrained ensemble. All randomness (bootstrap resampling and
+// per-tree feature sub-sampling) is drawn from the given seed, so fits are
+// reproducible.
+func New(params Params, seed int64) *Ensemble {
+	return &Ensemble{
+		params: params.withDefaults(),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Fit trains the ensemble on the given samples, replacing any previous state.
+func (e *Ensemble) Fit(features [][]float64, targets []float64) error {
+	if len(features) == 0 {
+		return errors.New("bagging: no training data")
+	}
+	if len(features) != len(targets) {
+		return fmt.Errorf("bagging: %d feature rows but %d targets", len(features), len(targets))
+	}
+
+	n := len(features)
+	sampleSize := int(math.Ceil(e.params.SampleFraction * float64(n)))
+	if sampleSize < 1 {
+		sampleSize = 1
+	}
+
+	trees := make([]*regtree.Tree, 0, e.params.NumTrees)
+	for i := 0; i < e.params.NumTrees; i++ {
+		subFeatures := make([][]float64, sampleSize)
+		subTargets := make([]float64, sampleSize)
+		for j := 0; j < sampleSize; j++ {
+			idx := e.rng.Intn(n)
+			subFeatures[j] = features[idx]
+			subTargets[j] = targets[idx]
+		}
+		tree, err := regtree.Train(subFeatures, subTargets, e.params.Tree, e.rng)
+		if err != nil {
+			return fmt.Errorf("bagging: training tree %d: %w", i, err)
+		}
+		trees = append(trees, tree)
+	}
+	e.trees = trees
+	e.numFeatures = len(features[0])
+	return nil
+}
+
+// Trained reports whether the ensemble has been fitted.
+func (e *Ensemble) Trained() bool { return len(e.trees) > 0 }
+
+// NumTrees returns the number of base learners in the ensemble.
+func (e *Ensemble) NumTrees() int { return e.params.NumTrees }
+
+// Predict returns the predictive distribution for the given feature vector:
+// a Gaussian whose mean and standard deviation are the mean and spread of the
+// individual tree predictions, as assumed by the paper's EIc computation.
+func (e *Ensemble) Predict(x []float64) (numeric.Gaussian, error) {
+	if !e.Trained() {
+		return numeric.Gaussian{}, ErrNotTrained
+	}
+	if len(x) != e.numFeatures {
+		return numeric.Gaussian{}, fmt.Errorf("bagging: feature vector has %d columns, want %d", len(x), e.numFeatures)
+	}
+	sum, sumSq := 0.0, 0.0
+	for _, tree := range e.trees {
+		p, err := tree.Predict(x)
+		if err != nil {
+			return numeric.Gaussian{}, fmt.Errorf("bagging: tree prediction: %w", err)
+		}
+		sum += p
+		sumSq += p * p
+	}
+	n := float64(len(e.trees))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	std := math.Sqrt(variance)
+	if floor := e.params.MinStdDevFraction * math.Abs(mean); std < floor {
+		std = floor
+	}
+	return numeric.Gaussian{Mean: mean, StdDev: std}, nil
+}
+
+// Factory creates independent ensembles that share the same parameters but
+// use distinct deterministic random streams. Lynceus' path simulation
+// retrains a fresh model at every speculated step, potentially from several
+// goroutines at once; a Factory hands each of them its own Ensemble.
+type Factory struct {
+	params Params
+	seed   int64
+}
+
+// NewFactory creates a Factory with the given parameters and base seed.
+func NewFactory(params Params, seed int64) *Factory {
+	return &Factory{params: params.withDefaults(), seed: seed}
+}
+
+// Params returns the parameters with which ensembles are created.
+func (f *Factory) Params() Params { return f.params }
+
+// New creates a fresh untrained ensemble whose random stream is derived from
+// the factory seed and the given stream identifier. Calls with distinct
+// stream identifiers are safe from concurrent goroutines.
+func (f *Factory) New(stream int64) *Ensemble {
+	// SplitMix64-style mixing to decorrelate nearby stream ids.
+	z := uint64(f.seed) + uint64(stream)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return New(f.params, int64(z))
+}

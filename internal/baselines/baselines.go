@@ -1,0 +1,270 @@
+// Package baselines implements the optimizers Lynceus is compared against in
+// the paper's evaluation: the CherryPick/Arrow-style greedy constrained-EI
+// Bayesian optimizer (BO), random search under the same budget (RND), and the
+// idealized disjoint optimization of Figure 1b.
+package baselines
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/acquisition"
+	"repro/internal/bagging"
+	"repro/internal/configspace"
+	"repro/internal/numeric"
+	"repro/internal/optimizer"
+)
+
+// DefaultEligibilityProb is the confidence with which a configuration's
+// predicted cost must fit the remaining budget to stay selectable. It matches
+// Lynceus' budget filter so that every optimizer stops under the same
+// condition and differences in the results come from the selection policy
+// alone.
+const DefaultEligibilityProb = 0.99
+
+// BOParams configures the BO baseline.
+type BOParams struct {
+	// Model configures the bagging ensemble used as the cost model; the
+	// evaluation uses the same 10-tree ensemble as Lynceus (§5.2).
+	Model bagging.Params
+	// EligibilityProb overrides DefaultEligibilityProb when non-zero.
+	EligibilityProb float64
+	// CostNormalized selects the "LA=0"-style myopic cost-aware variant,
+	// which divides the acquisition value by the predicted profiling cost.
+	CostNormalized bool
+}
+
+func (p BOParams) withDefaults() BOParams {
+	if p.EligibilityProb == 0 {
+		p.EligibilityProb = DefaultEligibilityProb
+	}
+	return p
+}
+
+// BO is the traditional greedy constrained-EI Bayesian optimizer used by
+// CherryPick and Arrow: at every iteration it profiles the untested
+// configuration that maximizes EIc, with no lookahead and (unless
+// CostNormalized is set) no cost awareness in the acquisition function.
+type BO struct {
+	params BOParams
+}
+
+// NewBO creates a BO baseline optimizer.
+func NewBO(params BOParams) (*BO, error) {
+	normalized := params.withDefaults()
+	if normalized.EligibilityProb <= 0 || normalized.EligibilityProb > 1 {
+		return nil, fmt.Errorf("baselines: eligibility probability %v outside (0,1]", normalized.EligibilityProb)
+	}
+	return &BO{params: normalized}, nil
+}
+
+// Name implements optimizer.Optimizer.
+func (b *BO) Name() string {
+	if b.params.CostNormalized {
+		return "bo-cost-normalized"
+	}
+	return "bo"
+}
+
+// boModels bundles the cost model with one model per extra constraint metric.
+type boModels struct {
+	cost       *bagging.Ensemble
+	extraNames []string
+	extras     []*bagging.Ensemble
+	extraMax   []float64
+}
+
+func newBOModels(params bagging.Params, opts optimizer.Options) *boModels {
+	names := make([]string, 0, len(opts.ExtraConstraints))
+	for _, c := range opts.ExtraConstraints {
+		names = append(names, c.Metric)
+	}
+	sort.Strings(names)
+	maxima := make([]float64, len(names))
+	for i, name := range names {
+		for _, c := range opts.ExtraConstraints {
+			if c.Metric == name {
+				maxima[i] = c.Max
+			}
+		}
+	}
+	m := &boModels{
+		cost:       bagging.New(params, opts.Seed),
+		extraNames: names,
+		extraMax:   maxima,
+	}
+	m.extras = make([]*bagging.Ensemble, len(names))
+	for i := range names {
+		m.extras[i] = bagging.New(params, opts.Seed+int64(i+1)*1_000_003)
+	}
+	return m
+}
+
+func (m *boModels) fit(h *optimizer.History) error {
+	features := h.Features()
+	if err := m.cost.Fit(features, h.Costs()); err != nil {
+		return fmt.Errorf("baselines: fitting cost model: %w", err)
+	}
+	for i, name := range m.extraNames {
+		if err := m.extras[i].Fit(features, h.ExtraMetric(name)); err != nil {
+			return fmt.Errorf("baselines: fitting constraint model %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Optimize implements optimizer.Optimizer.
+func (b *BO) Optimize(env optimizer.Environment, opts optimizer.Options) (optimizer.Result, error) {
+	if env == nil {
+		return optimizer.Result{}, errors.New("baselines: nil environment")
+	}
+	if err := opts.Validate(); err != nil {
+		return optimizer.Result{}, err
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	budget, err := optimizer.NewBudget(opts.Budget)
+	if err != nil {
+		return optimizer.Result{}, err
+	}
+	history := optimizer.NewHistory()
+	bootstrapSize, err := optimizer.ResolveBootstrapSize(env.Space(), opts)
+	if err != nil {
+		return optimizer.Result{}, err
+	}
+	if err := optimizer.Bootstrap(env, bootstrapSize, rng, history, budget, opts.SetupCost); err != nil {
+		return optimizer.Result{}, err
+	}
+
+	space := env.Space()
+	unitPrices := make([]float64, space.Size())
+	for _, cfg := range space.Configs() {
+		price, err := env.UnitPricePerHour(cfg)
+		if err != nil {
+			return optimizer.Result{}, err
+		}
+		unitPrices[cfg.ID] = price
+	}
+	models := newBOModels(b.params.Model, opts)
+
+	for {
+		nextID, ok, err := b.nextConfig(space, history, models, unitPrices, budget.Remaining(), opts)
+		if err != nil {
+			return optimizer.Result{}, err
+		}
+		if !ok {
+			break
+		}
+		cfg, err := space.Config(nextID)
+		if err != nil {
+			return optimizer.Result{}, err
+		}
+		if _, err := optimizer.RunTrial(env, cfg, history, budget, opts.SetupCost); err != nil {
+			return optimizer.Result{}, err
+		}
+	}
+	return optimizer.BuildResult(b.Name(), history, budget, opts)
+}
+
+// nextConfig selects the untested configuration with the highest acquisition
+// value among those whose predicted cost fits the remaining budget.
+func (b *BO) nextConfig(space *configspace.Space, h *optimizer.History, models *boModels, unitPrices []float64, remainingBudget float64, opts optimizer.Options) (int, bool, error) {
+	untested := h.Untested(space)
+	if len(untested) == 0 {
+		return 0, false, nil
+	}
+	if err := models.fit(h); err != nil {
+		return 0, false, err
+	}
+
+	type scored struct {
+		cfg       configspace.Config
+		costPred  numeric.Gaussian
+		extraPred []numeric.Gaussian
+	}
+	eligible := make([]scored, 0, len(untested))
+	maxStd := 0.0
+	for _, cfg := range untested {
+		costPred, err := models.cost.Predict(cfg.Features)
+		if err != nil {
+			return 0, false, err
+		}
+		if costPred.StdDev > maxStd {
+			maxStd = costPred.StdDev
+		}
+		if costPred.ProbLE(remainingBudget) < b.params.EligibilityProb {
+			continue
+		}
+		extraPred := make([]numeric.Gaussian, len(models.extras))
+		for i, m := range models.extras {
+			extraPred[i], err = m.Predict(cfg.Features)
+			if err != nil {
+				return 0, false, err
+			}
+		}
+		eligible = append(eligible, scored{cfg: cfg, costPred: costPred, extraPred: extraPred})
+	}
+	if len(eligible) == 0 {
+		return 0, false, nil
+	}
+
+	best := incumbent(h, opts, maxStd)
+	scores := make([]acquisition.Score, 0, len(eligible))
+	for _, s := range eligible {
+		ei := acquisition.ExpectedImprovement(s.costPred, best)
+		probs := make([]float64, 0, 1+len(s.extraPred))
+		runtimeProb, err := acquisition.ConstraintProbability(s.costPred, opts.MaxRuntimeSeconds, unitPrices[s.cfg.ID]/3600)
+		if err != nil {
+			return 0, false, err
+		}
+		probs = append(probs, runtimeProb)
+		for i, pred := range s.extraPred {
+			probs = append(probs, clampProb(pred.ProbLE(models.extraMax[i])))
+		}
+		eic, err := acquisition.Constrained(ei, probs...)
+		if err != nil {
+			return 0, false, err
+		}
+		scores = append(scores, acquisition.Score{
+			ConfigID:     s.cfg.ID,
+			Pred:         s.costPred,
+			EI:           ei,
+			ProbFeasible: runtimeProb,
+			EIc:          eic,
+		})
+	}
+
+	var idx int
+	var err error
+	if b.params.CostNormalized {
+		idx, err = acquisition.ArgMaxRatio(scores)
+	} else {
+		idx, err = acquisition.ArgMaxEIc(scores)
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	return scores[idx].ConfigID, true, nil
+}
+
+func clampProb(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// incumbent returns the EI reference value y*: the cheapest feasible profiled
+// cost, or the paper's fallback when no profiled configuration is feasible.
+func incumbent(h *optimizer.History, opts optimizer.Options, maxPredStd float64) float64 {
+	best, ok := h.BestFeasible(opts.MaxRuntimeSeconds, opts.ExtraConstraints)
+	if ok {
+		return best.Cost
+	}
+	return acquisition.IncumbentFallback(h.MaxCost(), maxPredStd)
+}

@@ -1,0 +1,157 @@
+package baselines
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// DisjointResult is the outcome of one idealized disjoint optimization run:
+// starting from the reference cloud configuration identified by
+// ReferenceKey, the two-phase optimization selected FinalConfigID with cost
+// FinalCost.
+type DisjointResult struct {
+	ReferenceKey  string
+	FinalConfigID int
+	FinalCost     float64
+	// CNO is the final cost normalized by the cost of the true optimum.
+	CNO float64
+}
+
+// Disjoint performs the idealized disjoint optimization of Figure 1b on a
+// profiled job: for every possible reference cloud configuration c†, it
+// (i) finds the best job parameters on c† and then (ii) finds the best cloud
+// configuration for those parameters. Both phases are assumed perfect (they
+// pick the true best within their slice), so the results upper-bound what a
+// real disjoint optimizer could achieve.
+//
+// cloudDims lists the indices of the dimensions that describe the cloud
+// configuration (e.g. VM type and cluster size); the remaining dimensions are
+// treated as job parameters. maxRuntimeSeconds is the runtime constraint.
+func Disjoint(job *dataset.Job, cloudDims []int, maxRuntimeSeconds float64) ([]DisjointResult, error) {
+	if job == nil {
+		return nil, fmt.Errorf("baselines: nil job")
+	}
+	space := job.Space()
+	if len(cloudDims) == 0 || len(cloudDims) >= space.NumDimensions() {
+		return nil, fmt.Errorf("baselines: disjoint optimization needs a strict, non-empty subset of dimensions as cloud dimensions (got %d of %d)",
+			len(cloudDims), space.NumDimensions())
+	}
+	isCloudDim := make(map[int]bool, len(cloudDims))
+	for _, d := range cloudDims {
+		if d < 0 || d >= space.NumDimensions() {
+			return nil, fmt.Errorf("baselines: cloud dimension %d out of range", d)
+		}
+		if isCloudDim[d] {
+			return nil, fmt.Errorf("baselines: duplicate cloud dimension %d", d)
+		}
+		isCloudDim[d] = true
+	}
+
+	optimum, err := job.Optimum(maxRuntimeSeconds)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: disjoint optimization: %w", err)
+	}
+
+	// Key helpers: project a configuration onto its cloud part or its
+	// parameter part.
+	configs := space.Configs()
+	cloudKey := func(indices []int) string {
+		key := ""
+		for _, d := range cloudDims {
+			key += fmt.Sprintf("%d,", indices[d])
+		}
+		return key
+	}
+	paramKey := func(indices []int) string {
+		key := ""
+		for d := range indices {
+			if !isCloudDim[d] {
+				key += fmt.Sprintf("%d,", indices[d])
+			}
+		}
+		return key
+	}
+
+	// Enumerate the distinct cloud settings in a stable order.
+	cloudKeys := make([]string, 0)
+	seen := make(map[string]bool)
+	for _, cfg := range configs {
+		k := cloudKey(cfg.Indices)
+		if !seen[k] {
+			seen[k] = true
+			cloudKeys = append(cloudKeys, k)
+		}
+	}
+
+	results := make([]DisjointResult, 0, len(cloudKeys))
+	for _, ref := range cloudKeys {
+		// Phase 1: best feasible parameters on the reference cloud setting.
+		bestParamCost := 0.0
+		bestParam := ""
+		foundParam := false
+		for _, cfg := range configs {
+			if cloudKey(cfg.Indices) != ref {
+				continue
+			}
+			feasible, err := job.Feasible(cfg.ID, maxRuntimeSeconds)
+			if err != nil {
+				return nil, err
+			}
+			if !feasible {
+				continue
+			}
+			m, err := job.Measurement(cfg.ID)
+			if err != nil {
+				return nil, err
+			}
+			if !foundParam || m.Cost < bestParamCost {
+				bestParamCost = m.Cost
+				bestParam = paramKey(cfg.Indices)
+				foundParam = true
+			}
+		}
+		if !foundParam {
+			// No feasible configuration on this reference cloud setting: the
+			// disjoint optimization cannot even complete its first phase.
+			continue
+		}
+
+		// Phase 2: best feasible cloud setting for the chosen parameters.
+		bestCost := 0.0
+		bestID := -1
+		for _, cfg := range configs {
+			if paramKey(cfg.Indices) != bestParam {
+				continue
+			}
+			feasible, err := job.Feasible(cfg.ID, maxRuntimeSeconds)
+			if err != nil {
+				return nil, err
+			}
+			if !feasible {
+				continue
+			}
+			m, err := job.Measurement(cfg.ID)
+			if err != nil {
+				return nil, err
+			}
+			if bestID < 0 || m.Cost < bestCost {
+				bestCost = m.Cost
+				bestID = cfg.ID
+			}
+		}
+		if bestID < 0 {
+			continue
+		}
+		results = append(results, DisjointResult{
+			ReferenceKey:  ref,
+			FinalConfigID: bestID,
+			FinalCost:     bestCost,
+			CNO:           bestCost / optimum.Cost,
+		})
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("baselines: disjoint optimization found no feasible reference configuration")
+	}
+	return results, nil
+}

@@ -1,0 +1,247 @@
+// Package configspace models the discrete configuration spaces explored by
+// Lynceus: a configuration is a tuple <N, H, P> of cluster size, hardware
+// type, and job-level parameters (paper §2). A Space is the (optionally
+// filtered) Cartesian product of a set of discrete dimensions.
+package configspace
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrEmptySpace is returned when a space would contain no configuration.
+var ErrEmptySpace = errors.New("configspace: space contains no configuration")
+
+// Dimension is one axis of the configuration space: an ordered list of the
+// discrete numeric values the axis can take. Labels, when present, provide a
+// human-readable name per value (e.g. the VM type name); they must either be
+// empty or have exactly one entry per value.
+type Dimension struct {
+	Name   string
+	Values []float64
+	Labels []string
+}
+
+// Validate checks the internal consistency of the dimension.
+func (d Dimension) Validate() error {
+	if d.Name == "" {
+		return errors.New("configspace: dimension has empty name")
+	}
+	if len(d.Values) == 0 {
+		return fmt.Errorf("configspace: dimension %q has no values", d.Name)
+	}
+	if len(d.Labels) != 0 && len(d.Labels) != len(d.Values) {
+		return fmt.Errorf("configspace: dimension %q has %d labels for %d values",
+			d.Name, len(d.Labels), len(d.Values))
+	}
+	seen := make(map[float64]struct{}, len(d.Values))
+	for _, v := range d.Values {
+		if _, dup := seen[v]; dup {
+			return fmt.Errorf("configspace: dimension %q has duplicate value %v", d.Name, v)
+		}
+		seen[v] = struct{}{}
+	}
+	return nil
+}
+
+// Label returns the label of the i-th value, falling back to the numeric
+// value when no labels are defined.
+func (d Dimension) Label(i int) string {
+	if i < 0 || i >= len(d.Values) {
+		return ""
+	}
+	if len(d.Labels) == len(d.Values) {
+		return d.Labels[i]
+	}
+	return fmt.Sprintf("%g", d.Values[i])
+}
+
+// Config is one point of a Space. ID is the dense index of the configuration
+// within its space; Indices holds the per-dimension value index; Features is
+// the numeric feature vector handed to the regression model.
+type Config struct {
+	ID       int
+	Indices  []int
+	Features []float64
+}
+
+// Clone returns a deep copy of the configuration.
+func (c Config) Clone() Config {
+	out := Config{ID: c.ID}
+	out.Indices = append([]int(nil), c.Indices...)
+	out.Features = append([]float64(nil), c.Features...)
+	return out
+}
+
+// Filter restricts the Cartesian product of the dimensions: only index
+// vectors for which it returns true are part of the space. A nil filter
+// keeps every combination.
+type Filter func(indices []int) bool
+
+// Space is a finite, enumerated configuration space.
+type Space struct {
+	dims    []Dimension
+	configs []Config
+}
+
+// New builds a Space from the Cartesian product of dims, restricted by
+// filter. The resulting configurations are assigned dense IDs in
+// lexicographic order of their index vectors.
+func New(dims []Dimension, filter Filter) (*Space, error) {
+	if len(dims) == 0 {
+		return nil, errors.New("configspace: space requires at least one dimension")
+	}
+	names := make(map[string]struct{}, len(dims))
+	for _, d := range dims {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := names[d.Name]; dup {
+			return nil, fmt.Errorf("configspace: duplicate dimension name %q", d.Name)
+		}
+		names[d.Name] = struct{}{}
+	}
+
+	copied := make([]Dimension, len(dims))
+	for i, d := range dims {
+		copied[i] = Dimension{
+			Name:   d.Name,
+			Values: append([]float64(nil), d.Values...),
+			Labels: append([]string(nil), d.Labels...),
+		}
+	}
+
+	s := &Space{dims: copied}
+	indices := make([]int, len(copied))
+	for {
+		if filter == nil || filter(append([]int(nil), indices...)) {
+			cfg := Config{
+				ID:       len(s.configs),
+				Indices:  append([]int(nil), indices...),
+				Features: make([]float64, len(copied)),
+			}
+			for d, idx := range indices {
+				cfg.Features[d] = copied[d].Values[idx]
+			}
+			s.configs = append(s.configs, cfg)
+		}
+		// Advance the mixed-radix counter.
+		d := len(copied) - 1
+		for d >= 0 {
+			indices[d]++
+			if indices[d] < len(copied[d].Values) {
+				break
+			}
+			indices[d] = 0
+			d--
+		}
+		if d < 0 {
+			break
+		}
+	}
+	if len(s.configs) == 0 {
+		return nil, ErrEmptySpace
+	}
+	return s, nil
+}
+
+// Size returns the number of configurations in the space.
+func (s *Space) Size() int { return len(s.configs) }
+
+// NumDimensions returns the number of dimensions of the space.
+func (s *Space) NumDimensions() int { return len(s.dims) }
+
+// Dimensions returns a copy of the space's dimensions.
+func (s *Space) Dimensions() []Dimension {
+	out := make([]Dimension, len(s.dims))
+	for i, d := range s.dims {
+		out[i] = Dimension{
+			Name:   d.Name,
+			Values: append([]float64(nil), d.Values...),
+			Labels: append([]string(nil), d.Labels...),
+		}
+	}
+	return out
+}
+
+// Dimension returns the d-th dimension.
+func (s *Space) Dimension(d int) (Dimension, error) {
+	if d < 0 || d >= len(s.dims) {
+		return Dimension{}, fmt.Errorf("configspace: dimension index %d out of range [0,%d)", d, len(s.dims))
+	}
+	return Dimension{
+		Name:   s.dims[d].Name,
+		Values: append([]float64(nil), s.dims[d].Values...),
+		Labels: append([]string(nil), s.dims[d].Labels...),
+	}, nil
+}
+
+// Config returns the configuration with the given ID.
+func (s *Space) Config(id int) (Config, error) {
+	if id < 0 || id >= len(s.configs) {
+		return Config{}, fmt.Errorf("configspace: config id %d out of range [0,%d)", id, len(s.configs))
+	}
+	return s.configs[id].Clone(), nil
+}
+
+// Configs returns a copy of every configuration in the space.
+func (s *Space) Configs() []Config {
+	out := make([]Config, len(s.configs))
+	for i, c := range s.configs {
+		out[i] = c.Clone()
+	}
+	return out
+}
+
+// IDs returns the IDs of all configurations in the space.
+func (s *Space) IDs() []int {
+	out := make([]int, len(s.configs))
+	for i := range s.configs {
+		out[i] = s.configs[i].ID
+	}
+	return out
+}
+
+// Lookup finds the configuration with the given per-dimension indices, or
+// reports that it is not part of the (possibly filtered) space.
+func (s *Space) Lookup(indices []int) (Config, bool) {
+	if len(indices) != len(s.dims) {
+		return Config{}, false
+	}
+	for _, c := range s.configs {
+		match := true
+		for d := range indices {
+			if c.Indices[d] != indices[d] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return c.Clone(), true
+		}
+	}
+	return Config{}, false
+}
+
+// Describe renders the configuration as a human readable string using the
+// dimension labels, e.g. "vm_type=t2.xlarge n_workers=8 learning_rate=0.001".
+func (s *Space) Describe(c Config) string {
+	parts := make([]string, 0, len(s.dims))
+	for d := range s.dims {
+		if d >= len(c.Indices) {
+			break
+		}
+		parts = append(parts, fmt.Sprintf("%s=%s", s.dims[d].Name, s.dims[d].Label(c.Indices[d])))
+	}
+	return strings.Join(parts, " ")
+}
+
+// FeatureNames returns the dimension names in feature-vector order.
+func (s *Space) FeatureNames() []string {
+	out := make([]string, len(s.dims))
+	for i, d := range s.dims {
+		out[i] = d.Name
+	}
+	return out
+}

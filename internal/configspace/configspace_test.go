@@ -1,0 +1,248 @@
+package configspace
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func twoByThreeDims() []Dimension {
+	return []Dimension{
+		{Name: "vm", Values: []float64{1, 2}, Labels: []string{"small", "large"}},
+		{Name: "workers", Values: []float64{4, 8, 16}},
+	}
+}
+
+func TestNewEnumeratesCartesianProduct(t *testing.T) {
+	s, err := New(twoByThreeDims(), nil)
+	if err != nil {
+		t.Fatalf("New error: %v", err)
+	}
+	if s.Size() != 6 {
+		t.Fatalf("Size = %d, want 6", s.Size())
+	}
+	if s.NumDimensions() != 2 {
+		t.Fatalf("NumDimensions = %d, want 2", s.NumDimensions())
+	}
+	// IDs must be dense and configs must carry consistent features.
+	for i, cfg := range s.Configs() {
+		if cfg.ID != i {
+			t.Errorf("config %d has ID %d", i, cfg.ID)
+		}
+		if len(cfg.Indices) != 2 || len(cfg.Features) != 2 {
+			t.Fatalf("config %d has malformed indices/features: %+v", i, cfg)
+		}
+		dims := s.Dimensions()
+		for d := range dims {
+			if cfg.Features[d] != dims[d].Values[cfg.Indices[d]] {
+				t.Errorf("config %d feature %d = %v, want %v",
+					i, d, cfg.Features[d], dims[d].Values[cfg.Indices[d]])
+			}
+		}
+	}
+}
+
+func TestNewWithFilter(t *testing.T) {
+	// Keep only configurations where workers index is strictly greater than
+	// the VM index, mimicking per-size cluster caps in the Scout dataset.
+	filter := func(idx []int) bool { return idx[1] > idx[0] }
+	s, err := New(twoByThreeDims(), filter)
+	if err != nil {
+		t.Fatalf("New error: %v", err)
+	}
+	if s.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", s.Size())
+	}
+	for _, cfg := range s.Configs() {
+		if cfg.Indices[1] <= cfg.Indices[0] {
+			t.Errorf("filtered space contains excluded config %+v", cfg)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		dims []Dimension
+	}{
+		{name: "no dimensions", dims: nil},
+		{name: "empty name", dims: []Dimension{{Name: "", Values: []float64{1}}}},
+		{name: "no values", dims: []Dimension{{Name: "a"}}},
+		{name: "label mismatch", dims: []Dimension{{Name: "a", Values: []float64{1, 2}, Labels: []string{"x"}}}},
+		{name: "duplicate values", dims: []Dimension{{Name: "a", Values: []float64{1, 1}}}},
+		{name: "duplicate names", dims: []Dimension{
+			{Name: "a", Values: []float64{1}},
+			{Name: "a", Values: []float64{2}},
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.dims, nil); err == nil {
+				t.Error("expected error, got nil")
+			}
+		})
+	}
+}
+
+func TestNewEmptyAfterFilter(t *testing.T) {
+	_, err := New(twoByThreeDims(), func([]int) bool { return false })
+	if !errors.Is(err, ErrEmptySpace) {
+		t.Errorf("error = %v, want ErrEmptySpace", err)
+	}
+}
+
+func TestConfigAndLookup(t *testing.T) {
+	s, err := New(twoByThreeDims(), nil)
+	if err != nil {
+		t.Fatalf("New error: %v", err)
+	}
+	cfg, err := s.Config(3)
+	if err != nil {
+		t.Fatalf("Config(3) error: %v", err)
+	}
+	if cfg.ID != 3 {
+		t.Errorf("Config(3).ID = %d", cfg.ID)
+	}
+	if _, err := s.Config(-1); err == nil {
+		t.Error("Config(-1) expected error")
+	}
+	if _, err := s.Config(6); err == nil {
+		t.Error("Config(6) expected error")
+	}
+
+	found, ok := s.Lookup([]int{1, 2})
+	if !ok {
+		t.Fatal("Lookup([1,2]) not found")
+	}
+	if found.Features[0] != 2 || found.Features[1] != 16 {
+		t.Errorf("Lookup returned wrong config %+v", found)
+	}
+	if _, ok := s.Lookup([]int{5, 0}); ok {
+		t.Error("Lookup of out-of-range indices should fail")
+	}
+	if _, ok := s.Lookup([]int{0}); ok {
+		t.Error("Lookup with wrong arity should fail")
+	}
+}
+
+func TestDescribeAndLabels(t *testing.T) {
+	s, err := New(twoByThreeDims(), nil)
+	if err != nil {
+		t.Fatalf("New error: %v", err)
+	}
+	cfg, ok := s.Lookup([]int{1, 0})
+	if !ok {
+		t.Fatal("Lookup failed")
+	}
+	desc := s.Describe(cfg)
+	if !strings.Contains(desc, "vm=large") || !strings.Contains(desc, "workers=4") {
+		t.Errorf("Describe = %q", desc)
+	}
+	d, err := s.Dimension(0)
+	if err != nil {
+		t.Fatalf("Dimension(0) error: %v", err)
+	}
+	if d.Label(0) != "small" || d.Label(1) != "large" {
+		t.Errorf("labels = %q, %q", d.Label(0), d.Label(1))
+	}
+	if d.Label(5) != "" {
+		t.Errorf("out-of-range label = %q, want empty", d.Label(5))
+	}
+	d1, err := s.Dimension(1)
+	if err != nil {
+		t.Fatalf("Dimension(1) error: %v", err)
+	}
+	if d1.Label(2) != "16" {
+		t.Errorf("numeric fallback label = %q, want 16", d1.Label(2))
+	}
+	if _, err := s.Dimension(7); err == nil {
+		t.Error("Dimension(7) expected error")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	s, err := New(twoByThreeDims(), nil)
+	if err != nil {
+		t.Fatalf("New error: %v", err)
+	}
+	cfg, err := s.Config(0)
+	if err != nil {
+		t.Fatalf("Config error: %v", err)
+	}
+	cfg.Features[0] = 999
+	cfg.Indices[0] = 999
+	again, err := s.Config(0)
+	if err != nil {
+		t.Fatalf("Config error: %v", err)
+	}
+	if again.Features[0] == 999 || again.Indices[0] == 999 {
+		t.Error("mutating a returned config leaked into the space")
+	}
+}
+
+func TestFeatureNamesAndIDs(t *testing.T) {
+	s, err := New(twoByThreeDims(), nil)
+	if err != nil {
+		t.Fatalf("New error: %v", err)
+	}
+	names := s.FeatureNames()
+	if len(names) != 2 || names[0] != "vm" || names[1] != "workers" {
+		t.Errorf("FeatureNames = %v", names)
+	}
+	ids := s.IDs()
+	if len(ids) != 6 {
+		t.Fatalf("IDs length = %d", len(ids))
+	}
+	for i, id := range ids {
+		if id != i {
+			t.Errorf("IDs[%d] = %d", i, id)
+		}
+	}
+}
+
+func TestQuickSpaceSizeMatchesFilter(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nDims := rng.Intn(3) + 1
+		dims := make([]Dimension, nDims)
+		total := 1
+		for d := range dims {
+			nVals := rng.Intn(4) + 1
+			vals := make([]float64, nVals)
+			for v := range vals {
+				vals[v] = float64(v) + rng.Float64()/2
+			}
+			dims[d] = Dimension{Name: string(rune('a' + d)), Values: vals}
+			total *= nVals
+		}
+		// Filter keeps combinations whose index sum is even.
+		filter := func(idx []int) bool {
+			sum := 0
+			for _, i := range idx {
+				sum += i
+			}
+			return sum%2 == 0
+		}
+		s, err := New(dims, filter)
+		if err != nil {
+			// A space can legitimately become empty only if the filter removes
+			// everything, which cannot happen here since the all-zero index
+			// vector always has an even sum.
+			return false
+		}
+		if s.Size() > total {
+			return false
+		}
+		for _, cfg := range s.Configs() {
+			if !filter(cfg.Indices) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Errorf("space enumeration property failed: %v", err)
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gp"
+	"repro/internal/model"
+)
+
+// TestOptimizeWithGaussianProcessModel exercises the footnote-1 variant of
+// the paper: Lynceus planning on a Gaussian-Process cost model instead of the
+// bagging ensemble.
+func TestOptimizeWithGaussianProcessModel(t *testing.T) {
+	env := fixtureEnv(t)
+	opts := fixtureOptions(t, 19)
+	optimum, err := env.Job().Optimum(opts.MaxRuntimeSeconds)
+	if err != nil {
+		t.Fatalf("Optimum error: %v", err)
+	}
+
+	l, err := New(Params{
+		Lookahead:    1,
+		GHOrder:      3,
+		ModelFactory: model.NewGPFactory(gp.Params{}),
+		Workers:      2,
+	})
+	if err != nil {
+		t.Fatalf("New error: %v", err)
+	}
+	res, err := l.Optimize(env, opts)
+	if err != nil {
+		t.Fatalf("Optimize error: %v", err)
+	}
+	if !res.RecommendedFeasible {
+		t.Error("recommendation not feasible")
+	}
+	if cno := res.Recommended.Cost / optimum.Cost; cno > 2.5 {
+		t.Errorf("CNO with GP model = %v, want <= 2.5 on this easy fixture", cno)
+	}
+	if res.Explorations < 2 {
+		t.Errorf("explorations = %d", res.Explorations)
+	}
+}
+
+// TestGPModelIsDeterministic verifies that runs with the GP model are
+// reproducible: the GP itself is deterministic given the data, and the rest
+// of the loop is seeded.
+func TestGPModelIsDeterministic(t *testing.T) {
+	env := fixtureEnv(t)
+	opts := fixtureOptions(t, 23)
+	l, err := New(Params{Lookahead: 1, ModelFactory: model.NewGPFactory(gp.Params{}), Workers: 2})
+	if err != nil {
+		t.Fatalf("New error: %v", err)
+	}
+	a, err := l.Optimize(env, opts)
+	if err != nil {
+		t.Fatalf("Optimize error: %v", err)
+	}
+	b, err := l.Optimize(env, opts)
+	if err != nil {
+		t.Fatalf("Optimize error: %v", err)
+	}
+	if len(a.Trials) != len(b.Trials) {
+		t.Fatalf("trial counts differ: %d vs %d", len(a.Trials), len(b.Trials))
+	}
+	for i := range a.Trials {
+		if a.Trials[i].Config.ID != b.Trials[i].Config.ID {
+			t.Fatalf("trial %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package core implements Lynceus, the paper's primary contribution: a
+// budget-aware and long-sighted Bayesian-optimization loop (Algorithms 1
+// and 2) that selects which configuration to profile next by simulating
+// bounded-lookahead exploration paths, discretizing speculated outcomes with
+// Gauss-Hermite quadrature, and maximizing the expected reward-to-cost ratio
+// of the path rooted at each candidate configuration.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/bagging"
+	"repro/internal/model"
+	"repro/internal/optimizer"
+)
+
+// Defaults used by the paper's prototype (§4.3, §5.2).
+const (
+	// DefaultLookahead is the lookahead window LA.
+	DefaultLookahead = 2
+	// DefaultDiscount is the discount factor γ applied to future rewards.
+	DefaultDiscount = 0.9
+	// DefaultGHOrder is the number K of Gauss-Hermite points used to
+	// discretize speculated outcomes.
+	DefaultGHOrder = 3
+	// DefaultEligibilityProb is the confidence with which a configuration's
+	// predicted cost must fit in the remaining budget to stay eligible
+	// (Algorithm 1, line 23).
+	DefaultEligibilityProb = 0.99
+)
+
+// Params configures the Lynceus optimizer.
+type Params struct {
+	// Lookahead is the lookahead window LA; 0 yields the cost-normalized
+	// myopic variant evaluated as "LA=0" in §6.2. Negative values are
+	// rejected.
+	Lookahead int
+	// Discount is the discount factor γ in [0,1]; 0 falls back to
+	// DefaultDiscount. Set NoDiscount to force γ = 0.
+	Discount float64
+	// NoDiscount forces γ = 0, which makes Lynceus ignore future rewards.
+	NoDiscount bool
+	// GHOrder is the Gauss-Hermite order K; 0 falls back to DefaultGHOrder.
+	GHOrder int
+	// EligibilityProb is the budget-eligibility confidence; 0 falls back to
+	// DefaultEligibilityProb.
+	EligibilityProb float64
+	// Model configures the bagging ensemble used as the default cost model.
+	Model bagging.Params
+	// ModelFactory overrides the cost-model family; nil uses a bagging
+	// ensemble built from Model (the paper's default). A Gaussian-Process
+	// factory can be supplied to reproduce the footnote-1 variant.
+	ModelFactory model.Factory
+	// Workers bounds the number of exploration paths evaluated concurrently;
+	// 0 uses GOMAXPROCS.
+	Workers int
+}
+
+func (p Params) withDefaults() (Params, error) {
+	if p.Lookahead < 0 {
+		return Params{}, fmt.Errorf("core: negative lookahead %d", p.Lookahead)
+	}
+	if p.Discount < 0 || p.Discount > 1 {
+		return Params{}, fmt.Errorf("core: discount %v outside [0,1]", p.Discount)
+	}
+	if p.Discount == 0 && !p.NoDiscount {
+		p.Discount = DefaultDiscount
+	}
+	if p.GHOrder == 0 {
+		p.GHOrder = DefaultGHOrder
+	}
+	if p.GHOrder < 1 {
+		return Params{}, fmt.Errorf("core: gauss-hermite order %d below 1", p.GHOrder)
+	}
+	if p.EligibilityProb == 0 {
+		p.EligibilityProb = DefaultEligibilityProb
+	}
+	if p.EligibilityProb <= 0 || p.EligibilityProb > 1 {
+		return Params{}, fmt.Errorf("core: eligibility probability %v outside (0,1]", p.EligibilityProb)
+	}
+	if p.Workers < 0 {
+		return Params{}, fmt.Errorf("core: negative worker count %d", p.Workers)
+	}
+	if p.Workers == 0 {
+		p.Workers = runtime.GOMAXPROCS(0)
+	}
+	return p, nil
+}
+
+// Lynceus is the budget-aware, long-sighted optimizer.
+type Lynceus struct {
+	params Params
+}
+
+// New creates a Lynceus optimizer. The zero Params value yields the paper's
+// default configuration (LA=2, γ=0.9, 10-tree bagging ensemble).
+func New(params Params) (*Lynceus, error) {
+	normalized, err := params.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Lynceus{params: normalized}, nil
+}
+
+// Name implements optimizer.Optimizer.
+func (l *Lynceus) Name() string {
+	return fmt.Sprintf("lynceus-la%d", l.params.Lookahead)
+}
+
+// Params returns the normalized parameters of the optimizer.
+func (l *Lynceus) Params() Params { return l.params }
+
+// Optimize implements optimizer.Optimizer by running Algorithm 1 against the
+// environment.
+func (l *Lynceus) Optimize(env optimizer.Environment, opts optimizer.Options) (optimizer.Result, error) {
+	if env == nil {
+		return optimizer.Result{}, errors.New("core: nil environment")
+	}
+	if err := opts.Validate(); err != nil {
+		return optimizer.Result{}, err
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	budget, err := optimizer.NewBudget(opts.Budget)
+	if err != nil {
+		return optimizer.Result{}, err
+	}
+	history := optimizer.NewHistory()
+
+	bootstrapSize, err := optimizer.ResolveBootstrapSize(env.Space(), opts)
+	if err != nil {
+		return optimizer.Result{}, err
+	}
+	if err := optimizer.Bootstrap(env, bootstrapSize, rng, history, budget, opts.SetupCost); err != nil {
+		return optimizer.Result{}, err
+	}
+
+	planner, err := newPlanner(l.params, env, opts)
+	if err != nil {
+		return optimizer.Result{}, err
+	}
+
+	for {
+		next, ok, err := planner.nextConfig(history, budget.Remaining())
+		if err != nil {
+			return optimizer.Result{}, err
+		}
+		if !ok {
+			break
+		}
+		if _, err := optimizer.RunTrial(env, next, history, budget, opts.SetupCost); err != nil {
+			return optimizer.Result{}, err
+		}
+	}
+	return optimizer.BuildResult(l.Name(), history, budget, opts)
+}
+
+// candidate is one untested configuration together with the a-priori known
+// information needed to score it.
+type candidate struct {
+	id            int
+	features      []float64
+	unitPriceHour float64
+}
+
+// pathScore is the outcome of simulating the exploration paths rooted at one
+// candidate: the aggregate expected reward and the expected monetary cost of
+// the path.
+type pathScore struct {
+	candidateID int
+	reward      float64
+	cost        float64
+}
+
+// evaluateCandidatesParallel fans the per-candidate path simulations out to a
+// bounded pool of workers and returns the scores ordered by candidate index.
+// Every worker uses its own model instances (derived deterministically from
+// the candidate ID), so the result does not depend on scheduling.
+func evaluateCandidatesParallel(workers int, n int, eval func(i int) (pathScore, error)) ([]pathScore, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	scores := make([]pathScore, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				scores[i], errs[i] = eval(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return scores, nil
+}
+
+// selectBestRatio returns the candidate with the highest reward-to-cost
+// ratio, breaking ties by lower configuration ID.
+func selectBestRatio(scores []pathScore) (int, bool) {
+	if len(scores) == 0 {
+		return 0, false
+	}
+	sorted := make([]pathScore, len(scores))
+	copy(sorted, scores)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].candidateID < sorted[j].candidateID })
+
+	const eps = 1e-12
+	ratio := func(s pathScore) float64 {
+		den := s.cost
+		if den < eps {
+			den = eps
+		}
+		return s.reward / den
+	}
+	best := sorted[0]
+	for _, s := range sorted[1:] {
+		if ratio(s) > ratio(best) {
+			best = s
+		}
+	}
+	return best.candidateID, true
+}

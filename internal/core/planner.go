@@ -1,0 +1,498 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/acquisition"
+	"repro/internal/configspace"
+	"repro/internal/model"
+	"repro/internal/numeric"
+	"repro/internal/optimizer"
+)
+
+// planner implements the configuration-selection logic of Algorithms 1 and 2:
+// it turns the optimizer's history into speculation states and simulates
+// exploration paths to score every eligible candidate.
+type planner struct {
+	params     Params
+	opts       optimizer.Options
+	space      *configspace.Space
+	candidates []candidate          // indexed by configuration ID
+	configs    []configspace.Config // indexed by configuration ID
+	factory    model.Factory
+	iteration  int
+}
+
+func newPlanner(params Params, env optimizer.Environment, opts optimizer.Options) (*planner, error) {
+	space := env.Space()
+	configs := space.Configs()
+	candidates := make([]candidate, len(configs))
+	for i, cfg := range configs {
+		price, err := env.UnitPricePerHour(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: unit price of config %d: %w", cfg.ID, err)
+		}
+		if price <= 0 {
+			return nil, fmt.Errorf("core: non-positive unit price %v for config %d", price, cfg.ID)
+		}
+		candidates[i] = candidate{
+			id:            cfg.ID,
+			features:      append([]float64(nil), cfg.Features...),
+			unitPriceHour: price,
+		}
+	}
+	factory := params.ModelFactory
+	if factory == nil {
+		factory = model.NewBaggingFactory(params.Model, opts.Seed)
+	}
+	return &planner{
+		params:     params,
+		opts:       opts,
+		space:      space,
+		candidates: candidates,
+		configs:    configs,
+		factory:    factory,
+	}, nil
+}
+
+// constraintNames returns the extra-constraint metric names in a stable order.
+func (p *planner) constraintNames() []string {
+	names := make([]string, 0, len(p.opts.ExtraConstraints))
+	for _, c := range p.opts.ExtraConstraints {
+		names = append(names, c.Metric)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (p *planner) constraintMax(name string) float64 {
+	for _, c := range p.opts.ExtraConstraints {
+		if c.Metric == name {
+			return c.Max
+		}
+	}
+	return 0
+}
+
+// trainSet is the (possibly speculated) training set S of one state: the cost
+// and extra-metric targets of every profiled-or-speculated configuration.
+type trainSet struct {
+	features [][]float64
+	costs    []float64
+	extras   [][]float64 // extras[k][i]: value of the k-th constraint metric for entry i
+	feasible []bool
+}
+
+func newTrainSetFromHistory(h *optimizer.History, opts optimizer.Options, extraNames []string) *trainSet {
+	trials := h.Trials()
+	ts := &trainSet{
+		features: make([][]float64, 0, len(trials)),
+		costs:    make([]float64, 0, len(trials)),
+		extras:   make([][]float64, len(extraNames)),
+		feasible: make([]bool, 0, len(trials)),
+	}
+	for k := range extraNames {
+		ts.extras[k] = make([]float64, 0, len(trials))
+	}
+	for _, tr := range trials {
+		ts.features = append(ts.features, append([]float64(nil), tr.Config.Features...))
+		ts.costs = append(ts.costs, tr.Cost)
+		ts.feasible = append(ts.feasible, tr.Feasible(opts.MaxRuntimeSeconds, opts.ExtraConstraints))
+		for k, name := range extraNames {
+			ts.extras[k] = append(ts.extras[k], tr.Extra[name])
+		}
+	}
+	return ts
+}
+
+// withEntry returns a new training set extended with one speculated entry.
+// The receiver is not modified.
+func (ts *trainSet) withEntry(features []float64, cost float64, extras []float64, feasible bool) *trainSet {
+	out := &trainSet{
+		features: make([][]float64, len(ts.features), len(ts.features)+1),
+		costs:    make([]float64, len(ts.costs), len(ts.costs)+1),
+		extras:   make([][]float64, len(ts.extras)),
+		feasible: make([]bool, len(ts.feasible), len(ts.feasible)+1),
+	}
+	copy(out.features, ts.features)
+	copy(out.costs, ts.costs)
+	copy(out.feasible, ts.feasible)
+	out.features = append(out.features, features)
+	out.costs = append(out.costs, cost)
+	out.feasible = append(out.feasible, feasible)
+	for k := range ts.extras {
+		out.extras[k] = make([]float64, len(ts.extras[k]), len(ts.extras[k])+1)
+		copy(out.extras[k], ts.extras[k])
+		out.extras[k] = append(out.extras[k], extras[k])
+	}
+	return out
+}
+
+// bestFeasibleCost returns the lowest cost among feasible entries.
+func (ts *trainSet) bestFeasibleCost() (float64, bool) {
+	best := 0.0
+	found := false
+	for i, c := range ts.costs {
+		if !ts.feasible[i] {
+			continue
+		}
+		if !found || c < best {
+			best = c
+			found = true
+		}
+	}
+	return best, found
+}
+
+// maxCost returns the highest cost in the training set.
+func (ts *trainSet) maxCost() float64 {
+	maxC := 0.0
+	for _, c := range ts.costs {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	return maxC
+}
+
+// modelSet bundles the cost model with one model per extra constraint metric.
+type modelSet struct {
+	cost   model.Regressor
+	extras []model.Regressor
+}
+
+// newModelSet creates untrained models on a deterministic random stream.
+func (p *planner) newModelSet(stream int64) *modelSet {
+	ms := &modelSet{cost: p.factory.New(stream)}
+	names := p.constraintNames()
+	ms.extras = make([]model.Regressor, len(names))
+	for k := range names {
+		ms.extras[k] = p.factory.New(stream + int64(k+1)*1_000_003)
+	}
+	return ms
+}
+
+// fit trains every model of the set on the given training set.
+func (ms *modelSet) fit(ts *trainSet) error {
+	if err := ms.cost.Fit(ts.features, ts.costs); err != nil {
+		return fmt.Errorf("core: fitting cost model: %w", err)
+	}
+	for k, m := range ms.extras {
+		if err := m.Fit(ts.features, ts.extras[k]); err != nil {
+			return fmt.Errorf("core: fitting constraint model %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// predict returns the cost and per-constraint predictive distributions for a
+// feature vector.
+func (ms *modelSet) predict(features []float64) (numeric.Gaussian, []numeric.Gaussian, error) {
+	costPred, err := ms.cost.Predict(features)
+	if err != nil {
+		return numeric.Gaussian{}, nil, err
+	}
+	extraPreds := make([]numeric.Gaussian, len(ms.extras))
+	for k, m := range ms.extras {
+		extraPreds[k], err = m.Predict(features)
+		if err != nil {
+			return numeric.Gaussian{}, nil, err
+		}
+	}
+	return costPred, extraPreds, nil
+}
+
+// specState is the state Σ of one node of an exploration path: the
+// (speculated) training set, the untested configurations, the remaining
+// budget, and the currently deployed configuration.
+type specState struct {
+	train      *trainSet
+	untested   []candidate
+	budget     float64
+	deployedID int // -1 when nothing is deployed
+}
+
+// without returns the untested set minus the given candidate.
+func without(untested []candidate, id int) []candidate {
+	out := make([]candidate, 0, len(untested)-1)
+	for _, c := range untested {
+		if c.id != id {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// setupCost returns the setup cost of switching from the state's deployed
+// configuration to the candidate, if the extension is enabled.
+func (p *planner) setupCost(deployedID int, to candidate) float64 {
+	if p.opts.SetupCost == nil {
+		return 0
+	}
+	var from *configspace.Config
+	if deployedID >= 0 && deployedID < len(p.configs) {
+		cfg := p.configs[deployedID].Clone()
+		from = &cfg
+	}
+	return p.opts.SetupCost(from, p.configs[to.id])
+}
+
+// feasibleSpeculation reports whether a speculated (cost, extras) outcome for
+// the candidate satisfies the runtime and extra constraints: the runtime
+// constraint is expressed on the cost via C(x) = T(x)·U(x).
+func (p *planner) feasibleSpeculation(cand candidate, cost float64, extras []float64, extraNames []string) bool {
+	if cost > p.opts.MaxRuntimeSeconds*cand.unitPriceHour/3600 {
+		return false
+	}
+	for k, name := range extraNames {
+		if extras[k] > p.constraintMax(name) {
+			return false
+		}
+	}
+	return true
+}
+
+// eic computes the constrained expected improvement of a candidate under the
+// given state and model predictions (paper §3). The incumbent is the cheapest
+// feasible entry of the (speculated) training set; when no entry is feasible
+// the fallback rule "most expensive profiled cost plus three times the
+// largest predictive standard deviation over untested configurations"
+// applies.
+func (p *planner) eic(state *specState, ms *modelSet, cand candidate, costPred numeric.Gaussian, extraPreds []numeric.Gaussian, extraNames []string) (float64, error) {
+	incumbent, hasFeasible := state.train.bestFeasibleCost()
+	if !hasFeasible {
+		maxStd := 0.0
+		for _, u := range state.untested {
+			pred, _, err := ms.predict(u.features)
+			if err != nil {
+				return 0, err
+			}
+			if pred.StdDev > maxStd {
+				maxStd = pred.StdDev
+			}
+		}
+		incumbent = acquisition.IncumbentFallback(state.train.maxCost(), maxStd)
+	}
+
+	ei := acquisition.ExpectedImprovement(costPred, incumbent)
+	probs := make([]float64, 0, 1+len(extraPreds))
+	runtimeProb, err := acquisition.ConstraintProbability(costPred, p.opts.MaxRuntimeSeconds, cand.unitPriceHour/3600)
+	if err != nil {
+		return 0, err
+	}
+	probs = append(probs, runtimeProb)
+	for k, pred := range extraPreds {
+		probs = append(probs, clampProb(pred.ProbLE(p.constraintMax(extraNames[k]))))
+	}
+	return acquisition.Constrained(ei, probs...)
+}
+
+func clampProb(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// eligible returns the candidates whose predicted cost fits within the
+// remaining budget with the configured confidence (Algorithm 1, line 23 and
+// Algorithm 2, line 22).
+func (p *planner) eligible(untested []candidate, ms *modelSet, budget float64) ([]candidate, []numeric.Gaussian, [][]numeric.Gaussian, error) {
+	out := make([]candidate, 0, len(untested))
+	costPreds := make([]numeric.Gaussian, 0, len(untested))
+	extraPreds := make([][]numeric.Gaussian, 0, len(untested))
+	for _, u := range untested {
+		costPred, extras, err := ms.predict(u.features)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if costPred.ProbLE(budget) >= p.params.EligibilityProb {
+			out = append(out, u)
+			costPreds = append(costPreds, costPred)
+			extraPreds = append(extraPreds, extras)
+		}
+	}
+	return out, costPreds, extraPreds, nil
+}
+
+// nextStep selects the configuration explored at depth ≥ 2 of a path: the
+// eligible untested configuration with the highest EIc under the speculated
+// state (Algorithm 2, NextStep).
+func (p *planner) nextStep(state *specState, ms *modelSet, extraNames []string) (candidate, bool, error) {
+	eligible, costPreds, extraPreds, err := p.eligible(state.untested, ms, state.budget)
+	if err != nil {
+		return candidate{}, false, err
+	}
+	if len(eligible) == 0 {
+		return candidate{}, false, nil
+	}
+	best := candidate{}
+	bestEIc := -1.0
+	for i, cand := range eligible {
+		score, err := p.eic(state, ms, cand, costPreds[i], extraPreds[i], extraNames)
+		if err != nil {
+			return candidate{}, false, err
+		}
+		if score > bestEIc || (score == bestEIc && cand.id < best.id) {
+			best = cand
+			bestEIc = score
+		}
+	}
+	return best, true, nil
+}
+
+// explorePaths implements Algorithm 2: it returns the expected reward and
+// expected cost of the exploration path that starts by profiling cand from
+// the given state, speculating on the remaining lookahead steps.
+//
+// models must be trained on state.train; scratch is an independent model set
+// that explorePaths may refit freely for deeper speculation levels (it is the
+// per-candidate workspace that keeps path evaluations independent across
+// goroutines).
+func (p *planner) explorePaths(state *specState, models *modelSet, cand candidate, lookahead int, scratch *modelSet, extraNames []string) (reward, cost float64, err error) {
+	costPred, extraPreds, err := models.predict(cand.features)
+	if err != nil {
+		return 0, 0, err
+	}
+	reward, err = p.eic(state, models, cand, costPred, extraPreds, extraNames)
+	if err != nil {
+		return 0, 0, err
+	}
+	cost = costPred.Mean + p.setupCost(state.deployedID, cand)
+
+	if lookahead == 0 {
+		return reward, cost, nil
+	}
+
+	// Discretize the speculated outcomes: the cost and every constraint
+	// metric each contribute a Gauss-Hermite marginal; the joint outcomes are
+	// their Cartesian product (paper §4.4 for the multi-constraint case).
+	dims := make([][]numeric.WeightedValue, 0, 1+len(extraPreds))
+	costOutcomes, err := numeric.DiscretizeGaussian(costPred, p.params.GHOrder)
+	if err != nil {
+		return 0, 0, err
+	}
+	dims = append(dims, costOutcomes)
+	for _, pred := range extraPreds {
+		outcomes, err := numeric.DiscretizeGaussian(pred, p.params.GHOrder)
+		if err != nil {
+			return 0, 0, err
+		}
+		dims = append(dims, outcomes)
+	}
+	combos, err := numeric.CartesianWeighted(dims)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	for _, combo := range combos {
+		specCost := combo.Values[0]
+		specExtras := combo.Values[1:]
+		feasible := p.feasibleSpeculation(cand, specCost, specExtras, extraNames)
+
+		childState := &specState{
+			train:      state.train.withEntry(cand.features, specCost, specExtras, feasible),
+			untested:   without(state.untested, cand.id),
+			budget:     state.budget - specCost - p.setupCost(state.deployedID, cand),
+			deployedID: cand.id,
+		}
+		if len(childState.untested) == 0 {
+			continue
+		}
+		if err := scratch.fit(childState.train); err != nil {
+			return 0, 0, err
+		}
+		next, ok, err := p.nextStep(childState, scratch, extraNames)
+		if err != nil {
+			return 0, 0, err
+		}
+		if !ok {
+			// The speculated budget cannot accommodate any further step: the
+			// path terminates here (Algorithm 2, lines 15-16).
+			continue
+		}
+		subReward, subCost, err := p.explorePaths(childState, scratch, next, lookahead-1, scratch, extraNames)
+		if err != nil {
+			return 0, 0, err
+		}
+		cost += combo.Weight * subCost
+		reward += p.params.Discount * combo.Weight * subReward
+	}
+	return reward, cost, nil
+}
+
+// nextConfig implements Algorithm 1's NextConfig: it scores the exploration
+// paths rooted at every eligible untested configuration and returns the
+// configuration starting the path with the best reward-to-cost ratio.
+func (p *planner) nextConfig(h *optimizer.History, remainingBudget float64) (configspace.Config, bool, error) {
+	extraNames := p.constraintNames()
+	train := newTrainSetFromHistory(h, p.opts, extraNames)
+	if len(train.costs) == 0 {
+		return configspace.Config{}, false, fmt.Errorf("core: nextConfig called with an empty history")
+	}
+
+	untested := make([]candidate, 0, len(p.candidates))
+	for _, cand := range p.candidates {
+		if !h.Tested(cand.id) {
+			untested = append(untested, cand)
+		}
+	}
+	if len(untested) == 0 {
+		return configspace.Config{}, false, nil
+	}
+
+	rootModels := p.newModelSet(int64(p.iteration) * 2_000_000_011)
+	p.iteration++
+	if err := rootModels.fit(train); err != nil {
+		return configspace.Config{}, false, err
+	}
+
+	rootState := &specState{
+		train:      train,
+		untested:   untested,
+		budget:     remainingBudget,
+		deployedID: deployedID(h),
+	}
+
+	eligible, _, _, err := p.eligible(untested, rootModels, remainingBudget)
+	if err != nil {
+		return configspace.Config{}, false, err
+	}
+	if len(eligible) == 0 {
+		return configspace.Config{}, false, nil
+	}
+
+	iteration := p.iteration
+	scores, err := evaluateCandidatesParallel(p.params.Workers, len(eligible), func(i int) (pathScore, error) {
+		cand := eligible[i]
+		scratch := p.newModelSet(int64(iteration)*4_000_000_007 + int64(cand.id))
+		reward, cost, err := p.explorePaths(rootState, rootModels, cand, p.params.Lookahead, scratch, extraNames)
+		if err != nil {
+			return pathScore{}, err
+		}
+		return pathScore{candidateID: cand.id, reward: reward, cost: cost}, nil
+	})
+	if err != nil {
+		return configspace.Config{}, false, err
+	}
+
+	bestID, ok := selectBestRatio(scores)
+	if !ok {
+		return configspace.Config{}, false, nil
+	}
+	return p.configs[bestID].Clone(), true, nil
+}
+
+// deployedID returns the ID of the configuration currently deployed according
+// to the history, or -1 when none is.
+func deployedID(h *optimizer.History) int {
+	cfg := h.Deployed()
+	if cfg == nil {
+		return -1
+	}
+	return cfg.ID
+}

@@ -1,0 +1,127 @@
+// Package lhs implements Latin Hypercube Sampling over discrete
+// configuration spaces. Lynceus and the BO baseline use it to pick the
+// initial configurations that bootstrap the cost model (paper Algorithm 1,
+// line 7): LHS stratifies every dimension so that the initial sample covers
+// the space more evenly than uniform random sampling.
+package lhs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/configspace"
+)
+
+// Sample draws n distinct configurations from space using Latin Hypercube
+// Sampling. If n is greater than or equal to the size of the space, every
+// configuration is returned (in randomized order). The rng must not be nil:
+// all randomness is injected so that experiment runs are reproducible.
+func Sample(space *configspace.Space, n int, rng *rand.Rand) ([]configspace.Config, error) {
+	if space == nil {
+		return nil, fmt.Errorf("lhs: nil space")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("lhs: nil rng")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("lhs: sample size must be positive, got %d", n)
+	}
+
+	all := space.Configs()
+	if n >= len(all) {
+		shuffled := make([]configspace.Config, len(all))
+		copy(shuffled, all)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		return shuffled, nil
+	}
+
+	dims := space.Dimensions()
+	// Build n stratified index vectors: dimension d is divided into n strata
+	// over [0,1); each sample gets one stratum per dimension via a random
+	// permutation, and the stratum midpointed by a random offset is mapped to
+	// a discrete value index.
+	targets := make([][]int, n)
+	for i := range targets {
+		targets[i] = make([]int, len(dims))
+	}
+	for d, dim := range dims {
+		perm := rng.Perm(n)
+		for i := 0; i < n; i++ {
+			u := (float64(perm[i]) + rng.Float64()) / float64(n)
+			idx := int(math.Floor(u * float64(len(dim.Values))))
+			if idx >= len(dim.Values) {
+				idx = len(dim.Values) - 1
+			}
+			targets[i][d] = idx
+		}
+	}
+
+	// Map every stratified index vector to the nearest configuration that is
+	// actually part of the (possibly filtered) space, without reusing
+	// configurations.
+	used := make(map[int]bool, n)
+	out := make([]configspace.Config, 0, n)
+	for _, target := range targets {
+		best, err := nearestUnused(space, all, target, used)
+		if err != nil {
+			return nil, err
+		}
+		used[best.ID] = true
+		out = append(out, best)
+	}
+	return out, nil
+}
+
+// nearestUnused returns the configuration of the space closest to the target
+// index vector (normalized per-dimension distance) that has not been used
+// yet. Ties are broken by the lower configuration ID so the mapping is
+// deterministic given the rng-generated targets.
+func nearestUnused(space *configspace.Space, all []configspace.Config, target []int, used map[int]bool) (configspace.Config, error) {
+	dims := space.Dimensions()
+	bestDist := math.Inf(1)
+	bestIdx := -1
+	for i, cfg := range all {
+		if used[cfg.ID] {
+			continue
+		}
+		dist := 0.0
+		for d := range target {
+			span := float64(len(dims[d].Values) - 1)
+			if span == 0 {
+				span = 1
+			}
+			delta := float64(cfg.Indices[d]-target[d]) / span
+			dist += delta * delta
+		}
+		if dist < bestDist {
+			bestDist = dist
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		return configspace.Config{}, fmt.Errorf("lhs: no unused configuration available")
+	}
+	return all[bestIdx], nil
+}
+
+// DefaultBootstrapSize returns the number of initial samples used to
+// bootstrap the optimizer for a space: the maximum between 3% of the space
+// cardinality and the number of dimensions (paper §5.2, default settings).
+func DefaultBootstrapSize(space *configspace.Space) (int, error) {
+	if space == nil {
+		return 0, fmt.Errorf("lhs: nil space")
+	}
+	byFraction := int(math.Ceil(0.03 * float64(space.Size())))
+	n := space.NumDimensions()
+	if byFraction > n {
+		n = byFraction
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > space.Size() {
+		n = space.Size()
+	}
+	return n, nil
+}

@@ -1,0 +1,214 @@
+package lhs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/configspace"
+)
+
+func gridSpace(t *testing.T, valuesPerDim ...int) *configspace.Space {
+	t.Helper()
+	dims := make([]configspace.Dimension, len(valuesPerDim))
+	for d, n := range valuesPerDim {
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(i)
+		}
+		dims[d] = configspace.Dimension{Name: string(rune('a' + d)), Values: vals}
+	}
+	s, err := configspace.New(dims, nil)
+	if err != nil {
+		t.Fatalf("configspace.New error: %v", err)
+	}
+	return s
+}
+
+func TestSampleArgumentValidation(t *testing.T) {
+	s := gridSpace(t, 4, 4)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Sample(nil, 2, rng); err == nil {
+		t.Error("nil space should error")
+	}
+	if _, err := Sample(s, 2, nil); err == nil {
+		t.Error("nil rng should error")
+	}
+	if _, err := Sample(s, 0, rng); err == nil {
+		t.Error("zero sample size should error")
+	}
+	if _, err := Sample(s, -3, rng); err == nil {
+		t.Error("negative sample size should error")
+	}
+}
+
+func TestSampleReturnsDistinctConfigs(t *testing.T) {
+	s := gridSpace(t, 8, 6, 4)
+	rng := rand.New(rand.NewSource(7))
+	got, err := Sample(s, 10, rng)
+	if err != nil {
+		t.Fatalf("Sample error: %v", err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("Sample returned %d configs, want 10", len(got))
+	}
+	seen := make(map[int]bool)
+	for _, cfg := range got {
+		if seen[cfg.ID] {
+			t.Errorf("duplicate config ID %d in sample", cfg.ID)
+		}
+		seen[cfg.ID] = true
+	}
+}
+
+func TestSampleCoversWholeSpaceWhenNTooLarge(t *testing.T) {
+	s := gridSpace(t, 3, 2)
+	rng := rand.New(rand.NewSource(3))
+	got, err := Sample(s, 100, rng)
+	if err != nil {
+		t.Fatalf("Sample error: %v", err)
+	}
+	if len(got) != s.Size() {
+		t.Fatalf("Sample returned %d configs, want whole space %d", len(got), s.Size())
+	}
+	seen := make(map[int]bool)
+	for _, cfg := range got {
+		seen[cfg.ID] = true
+	}
+	if len(seen) != s.Size() {
+		t.Errorf("sample does not cover the space: %d unique of %d", len(seen), s.Size())
+	}
+}
+
+func TestSampleIsDeterministicGivenSeed(t *testing.T) {
+	s := gridSpace(t, 10, 10)
+	a, err := Sample(s, 8, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatalf("Sample error: %v", err)
+	}
+	b, err := Sample(s, 8, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatalf("Sample error: %v", err)
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatalf("samples diverge at %d: %d vs %d", i, a[i].ID, b[i].ID)
+		}
+	}
+}
+
+// TestSampleStratification verifies the defining property of LHS on an exact
+// grid: when the number of samples equals the number of values of a
+// dimension, every value of that dimension appears exactly once.
+func TestSampleStratification(t *testing.T) {
+	s := gridSpace(t, 6, 6)
+	rng := rand.New(rand.NewSource(11))
+	got, err := Sample(s, 6, rng)
+	if err != nil {
+		t.Fatalf("Sample error: %v", err)
+	}
+	for d := 0; d < 2; d++ {
+		counts := make(map[int]int)
+		for _, cfg := range got {
+			counts[cfg.Indices[d]]++
+		}
+		for v := 0; v < 6; v++ {
+			if counts[v] != 1 {
+				t.Errorf("dimension %d value %d sampled %d times, want exactly 1 (counts=%v)",
+					d, v, counts[v], counts)
+			}
+		}
+	}
+}
+
+func TestSampleOnFilteredSpace(t *testing.T) {
+	dims := []configspace.Dimension{
+		{Name: "vm", Values: []float64{0, 1, 2}},
+		{Name: "workers", Values: []float64{4, 8, 16, 32}},
+	}
+	// Exclude the largest cluster for the largest VM, as in the Scout space.
+	filter := func(idx []int) bool { return !(idx[0] == 2 && idx[1] == 3) }
+	s, err := configspace.New(dims, filter)
+	if err != nil {
+		t.Fatalf("configspace.New error: %v", err)
+	}
+	got, err := Sample(s, 5, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatalf("Sample error: %v", err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("Sample returned %d configs", len(got))
+	}
+	for _, cfg := range got {
+		if cfg.Indices[0] == 2 && cfg.Indices[1] == 3 {
+			t.Errorf("sample contains filtered-out configuration %+v", cfg)
+		}
+	}
+}
+
+func TestDefaultBootstrapSize(t *testing.T) {
+	tests := []struct {
+		name string
+		dims []int
+		want int
+	}{
+		// 384-point Tensorflow-like space, 5 dims: 3% of 384 = 11.52 -> 12.
+		{name: "tensorflow style", dims: []int{3, 2, 2, 4, 8}, want: 12},
+		// Scout-like space with 3 dims and 66 points: 3% -> 2, dims -> 3.
+		{name: "small space uses dims", dims: []int{3, 2, 11}, want: 3},
+		{name: "tiny space capped at size", dims: []int{2}, want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := gridSpace(t, tt.dims...)
+			got, err := DefaultBootstrapSize(s)
+			if err != nil {
+				t.Fatalf("DefaultBootstrapSize error: %v", err)
+			}
+			if got != tt.want {
+				t.Errorf("DefaultBootstrapSize = %d, want %d (space size %d)", got, tt.want, s.Size())
+			}
+		})
+	}
+	if _, err := DefaultBootstrapSize(nil); err == nil {
+		t.Error("nil space should error")
+	}
+}
+
+func TestQuickSampleAlwaysDistinctAndValid(t *testing.T) {
+	property := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := []configspace.Dimension{
+			{Name: "a", Values: []float64{0, 1, 2, 3}},
+			{Name: "b", Values: []float64{0, 1, 2}},
+			{Name: "c", Values: []float64{0, 1}},
+		}
+		s, err := configspace.New(dims, nil)
+		if err != nil {
+			return false
+		}
+		n := int(nRaw%30) + 1
+		got, err := Sample(s, n, rng)
+		if err != nil {
+			return false
+		}
+		want := n
+		if want > s.Size() {
+			want = s.Size()
+		}
+		if len(got) != want {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, cfg := range got {
+			if cfg.ID < 0 || cfg.ID >= s.Size() || seen[cfg.ID] {
+				return false
+			}
+			seen[cfg.ID] = true
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Errorf("LHS sample property failed: %v", err)
+	}
+}

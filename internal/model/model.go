@@ -1,0 +1,99 @@
+// Package model defines the regression-model abstraction used by the
+// optimizers: any learner that can be fitted on (configuration, target) pairs
+// and produces a Gaussian predictive distribution per configuration can serve
+// as Lynceus' black-box cost model. The paper's prototype uses a bagging
+// ensemble of regression trees, and notes (§3, footnote 1) that Gaussian
+// Processes are a drop-in alternative; this package provides factories for
+// both.
+package model
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bagging"
+	"repro/internal/gp"
+	"repro/internal/numeric"
+)
+
+// Regressor is a trainable model with Gaussian predictive distributions.
+type Regressor interface {
+	// Fit trains the model on the given samples, replacing previous state.
+	Fit(features [][]float64, targets []float64) error
+	// Predict returns the predictive distribution at x.
+	Predict(x []float64) (numeric.Gaussian, error)
+}
+
+// Factory creates independent Regressor instances on deterministic random
+// streams, so concurrent planners can each own a private model.
+type Factory interface {
+	// New returns a fresh, untrained Regressor for the given stream.
+	New(stream int64) Regressor
+	// Name identifies the model family (e.g. "bagging", "gp").
+	Name() string
+}
+
+// Statically assert that the concrete learners satisfy Regressor.
+var (
+	_ Regressor = (*bagging.Ensemble)(nil)
+	_ Regressor = (*gp.GP)(nil)
+)
+
+// BaggingFactory builds bagging ensembles of regression trees (the paper's
+// default model).
+type BaggingFactory struct {
+	factory *bagging.Factory
+}
+
+// NewBaggingFactory creates a factory for bagging ensembles with the given
+// parameters and base seed.
+func NewBaggingFactory(params bagging.Params, seed int64) *BaggingFactory {
+	return &BaggingFactory{factory: bagging.NewFactory(params, seed)}
+}
+
+// New implements Factory.
+func (f *BaggingFactory) New(stream int64) Regressor { return f.factory.New(stream) }
+
+// Name implements Factory.
+func (f *BaggingFactory) Name() string { return "bagging" }
+
+// GPFactory builds Gaussian-Process regressors.
+type GPFactory struct {
+	params gp.Params
+}
+
+// NewGPFactory creates a factory for Gaussian-Process regressors.
+func NewGPFactory(params gp.Params) *GPFactory {
+	return &GPFactory{params: params}
+}
+
+// New implements Factory. Gaussian processes are deterministic given the
+// training data, so the stream identifier is ignored.
+func (f *GPFactory) New(int64) Regressor { return gp.New(f.params) }
+
+// Name implements Factory.
+func (f *GPFactory) Name() string { return "gp" }
+
+// Kind selects a model family by name.
+type Kind string
+
+// Supported model kinds.
+const (
+	KindBagging Kind = "bagging"
+	KindGP      Kind = "gp"
+)
+
+// NewFactory builds a Factory for the given kind.
+func NewFactory(kind Kind, baggingParams bagging.Params, gpParams gp.Params, seed int64) (Factory, error) {
+	switch kind {
+	case KindBagging, "":
+		return NewBaggingFactory(baggingParams, seed), nil
+	case KindGP:
+		return NewGPFactory(gpParams), nil
+	default:
+		return nil, fmt.Errorf("model: unknown model kind %q", kind)
+	}
+}
+
+// ErrNilFactory is returned by helpers that require a factory.
+var ErrNilFactory = errors.New("model: nil factory")

@@ -1,0 +1,95 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bagging"
+	"repro/internal/gp"
+)
+
+func trainingData() ([][]float64, []float64) {
+	features := make([][]float64, 0, 30)
+	targets := make([]float64, 0, 30)
+	for i := 0; i < 30; i++ {
+		x := float64(i) / 3
+		y := float64(i % 5)
+		features = append(features, []float64{x, y})
+		targets = append(targets, 2*x+y)
+	}
+	return features, targets
+}
+
+func TestNewFactoryKinds(t *testing.T) {
+	tests := []struct {
+		kind     Kind
+		wantName string
+	}{
+		{kind: KindBagging, wantName: "bagging"},
+		{kind: "", wantName: "bagging"},
+		{kind: KindGP, wantName: "gp"},
+	}
+	for _, tt := range tests {
+		f, err := NewFactory(tt.kind, bagging.Params{NumTrees: 5}, gp.Params{}, 1)
+		if err != nil {
+			t.Fatalf("NewFactory(%q) error: %v", tt.kind, err)
+		}
+		if f.Name() != tt.wantName {
+			t.Errorf("NewFactory(%q).Name() = %q, want %q", tt.kind, f.Name(), tt.wantName)
+		}
+	}
+	if _, err := NewFactory("forest", bagging.Params{}, gp.Params{}, 1); err == nil {
+		t.Error("unknown kind should error")
+	}
+}
+
+func TestFactoriesProduceWorkingRegressors(t *testing.T) {
+	features, targets := trainingData()
+	factories := []Factory{
+		NewBaggingFactory(bagging.Params{NumTrees: 8}, 7),
+		NewGPFactory(gp.Params{}),
+	}
+	for _, f := range factories {
+		t.Run(f.Name(), func(t *testing.T) {
+			reg := f.New(3)
+			if err := reg.Fit(features, targets); err != nil {
+				t.Fatalf("Fit error: %v", err)
+			}
+			pred, err := reg.Predict([]float64{5, 2})
+			if err != nil {
+				t.Fatalf("Predict error: %v", err)
+			}
+			want := 2*5.0 + 2
+			if math.Abs(pred.Mean-want) > 3 {
+				t.Errorf("prediction mean = %v, want ~%v", pred.Mean, want)
+			}
+			if pred.StdDev < 0 {
+				t.Errorf("negative std %v", pred.StdDev)
+			}
+		})
+	}
+}
+
+func TestBaggingFactoryStreamsAreDeterministic(t *testing.T) {
+	features, targets := trainingData()
+	f := NewBaggingFactory(bagging.Params{NumTrees: 6}, 11)
+	a := f.New(4)
+	b := f.New(4)
+	if err := a.Fit(features, targets); err != nil {
+		t.Fatalf("Fit error: %v", err)
+	}
+	if err := b.Fit(features, targets); err != nil {
+		t.Fatalf("Fit error: %v", err)
+	}
+	pa, err := a.Predict([]float64{3, 1})
+	if err != nil {
+		t.Fatalf("Predict error: %v", err)
+	}
+	pb, err := b.Predict([]float64{3, 1})
+	if err != nil {
+		t.Fatalf("Predict error: %v", err)
+	}
+	if pa != pb {
+		t.Errorf("same stream produced different models: %+v vs %+v", pa, pb)
+	}
+}

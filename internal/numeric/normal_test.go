@@ -1,0 +1,189 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalPDFKnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		z    float64
+		want float64
+	}{
+		{name: "at zero", z: 0, want: 0.3989422804014327},
+		{name: "at one", z: 1, want: 0.24197072451914337},
+		{name: "at minus one", z: -1, want: 0.24197072451914337},
+		{name: "at two", z: 2, want: 0.05399096651318806},
+		{name: "far tail", z: 10, want: 7.69459862670642e-23},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := NormalPDF(tt.z)
+			if !closeTo(got, tt.want, 1e-12) {
+				t.Errorf("NormalPDF(%v) = %v, want %v", tt.z, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		z    float64
+		want float64
+	}{
+		{name: "at zero", z: 0, want: 0.5},
+		{name: "at one", z: 1, want: 0.8413447460685429},
+		{name: "at minus one", z: -1, want: 0.15865525393145707},
+		{name: "at 1.96", z: 1.959963984540054, want: 0.975},
+		{name: "deep left tail", z: -8, want: 6.22096057427178e-16},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := NormalCDF(tt.z)
+			if !closeTo(got, tt.want, 1e-10) {
+				t.Errorf("NormalCDF(%v) = %v, want %v", tt.z, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNormalCDFIsMonotonic(t *testing.T) {
+	prev := -1.0
+	for z := -6.0; z <= 6.0; z += 0.01 {
+		cur := NormalCDF(z)
+		if cur < prev {
+			t.Fatalf("NormalCDF not monotonic at z=%v: %v < %v", z, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	for p := 0.001; p < 1; p += 0.001 {
+		z, err := NormalQuantile(p)
+		if err != nil {
+			t.Fatalf("NormalQuantile(%v) returned error: %v", p, err)
+		}
+		back := NormalCDF(z)
+		if !closeTo(back, p, 1e-9) {
+			t.Fatalf("NormalCDF(NormalQuantile(%v)) = %v, want %v", p, back, p)
+		}
+	}
+}
+
+func TestNormalQuantileRejectsInvalidInput(t *testing.T) {
+	for _, p := range []float64{-0.1, 0, 1, 1.5, math.NaN()} {
+		if _, err := NormalQuantile(p); err == nil {
+			t.Errorf("NormalQuantile(%v) expected error, got nil", p)
+		}
+	}
+}
+
+func TestNewGaussianValidation(t *testing.T) {
+	if _, err := NewGaussian(1, -0.5); err == nil {
+		t.Error("NewGaussian with negative std expected error, got nil")
+	}
+	if _, err := NewGaussian(math.NaN(), 1); err == nil {
+		t.Error("NewGaussian with NaN mean expected error, got nil")
+	}
+	g, err := NewGaussian(3, 2)
+	if err != nil {
+		t.Fatalf("NewGaussian(3,2) unexpected error: %v", err)
+	}
+	if g.Mean != 3 || g.StdDev != 2 {
+		t.Errorf("NewGaussian(3,2) = %+v", g)
+	}
+}
+
+func TestGaussianCDFAndPDF(t *testing.T) {
+	g := Gaussian{Mean: 10, StdDev: 2}
+	if got := g.CDF(10); !closeTo(got, 0.5, 1e-12) {
+		t.Errorf("CDF at mean = %v, want 0.5", got)
+	}
+	if got := g.CDF(12); !closeTo(got, NormalCDF(1), 1e-12) {
+		t.Errorf("CDF one std above mean = %v, want %v", got, NormalCDF(1))
+	}
+	if got := g.PDF(10); !closeTo(got, NormalPDF(0)/2, 1e-12) {
+		t.Errorf("PDF at mean = %v, want %v", got, NormalPDF(0)/2)
+	}
+	if got := g.ProbLE(12); got != g.CDF(12) {
+		t.Errorf("ProbLE(12)=%v differs from CDF(12)=%v", got, g.CDF(12))
+	}
+}
+
+func TestDegenerateGaussian(t *testing.T) {
+	g := Gaussian{Mean: 5, StdDev: 0}
+	if got := g.CDF(4.999); got != 0 {
+		t.Errorf("degenerate CDF below mean = %v, want 0", got)
+	}
+	if got := g.CDF(5); got != 1 {
+		t.Errorf("degenerate CDF at mean = %v, want 1", got)
+	}
+	if got := g.PDF(6); got != 0 {
+		t.Errorf("degenerate PDF away from mean = %v, want 0", got)
+	}
+	if !math.IsInf(g.PDF(5), 1) {
+		t.Errorf("degenerate PDF at mean = %v, want +Inf", g.PDF(5))
+	}
+	q, err := g.Quantile(0.3)
+	if err != nil || q != 5 {
+		t.Errorf("degenerate Quantile(0.3) = %v, %v, want 5, nil", q, err)
+	}
+}
+
+func TestGaussianQuantileRoundTrip(t *testing.T) {
+	g := Gaussian{Mean: -4, StdDev: 7}
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		x, err := g.Quantile(p)
+		if err != nil {
+			t.Fatalf("Quantile(%v) error: %v", p, err)
+		}
+		if back := g.CDF(x); !closeTo(back, p, 1e-9) {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, back)
+		}
+	}
+}
+
+func TestQuickNormalCDFBounds(t *testing.T) {
+	property := func(z float64) bool {
+		if math.IsNaN(z) || math.IsInf(z, 0) {
+			return true
+		}
+		c := NormalCDF(z)
+		return c >= 0 && c <= 1
+	}
+	if err := quick.Check(property, nil); err != nil {
+		t.Errorf("NormalCDF out of [0,1]: %v", err)
+	}
+}
+
+func TestQuickGaussianCDFMonotone(t *testing.T) {
+	property := func(mean float64, spread float64, a, b float64) bool {
+		mean = math.Mod(mean, 1e6)
+		std := math.Abs(math.Mod(spread, 1e3)) + 1e-9
+		g := Gaussian{Mean: mean, StdDev: std}
+		lo, hi := math.Mod(a, 1e6), math.Mod(b, 1e6)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return g.CDF(lo) <= g.CDF(hi)+1e-12
+	}
+	if err := quick.Check(property, nil); err != nil {
+		t.Errorf("Gaussian CDF not monotone: %v", err)
+	}
+}
+
+func closeTo(got, want, tol float64) bool {
+	if math.IsNaN(got) || math.IsNaN(want) {
+		return false
+	}
+	diff := math.Abs(got - want)
+	if diff <= tol {
+		return true
+	}
+	// Relative tolerance for large magnitudes.
+	return diff <= tol*math.Max(math.Abs(got), math.Abs(want))
+}

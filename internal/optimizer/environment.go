@@ -1,0 +1,114 @@
+package optimizer
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/configspace"
+	"repro/internal/dataset"
+	"repro/internal/lhs"
+)
+
+// JobEnvironment replays a profiled dataset.Job as an Environment: running a
+// configuration returns the measurement stored in the lookup table, exactly
+// as in the paper's simulation-based evaluation (§5.2).
+type JobEnvironment struct {
+	job *dataset.Job
+}
+
+// NewJobEnvironment wraps a dataset job.
+func NewJobEnvironment(job *dataset.Job) (*JobEnvironment, error) {
+	if job == nil {
+		return nil, errors.New("optimizer: nil job")
+	}
+	return &JobEnvironment{job: job}, nil
+}
+
+// Job returns the wrapped dataset job.
+func (e *JobEnvironment) Job() *dataset.Job { return e.job }
+
+// Space implements Environment.
+func (e *JobEnvironment) Space() *configspace.Space { return e.job.Space() }
+
+// Run implements Environment by replaying the stored measurement.
+func (e *JobEnvironment) Run(cfg configspace.Config) (TrialResult, error) {
+	m, err := e.job.Measurement(cfg.ID)
+	if err != nil {
+		return TrialResult{}, fmt.Errorf("optimizer: replaying config %d: %w", cfg.ID, err)
+	}
+	extra := map[string]float64(nil)
+	if len(m.Extra) > 0 {
+		extra = make(map[string]float64, len(m.Extra))
+		for k, v := range m.Extra {
+			extra[k] = v
+		}
+	}
+	return TrialResult{
+		Config:           cfg.Clone(),
+		RuntimeSeconds:   m.RuntimeSeconds,
+		UnitPricePerHour: m.UnitPricePerHour,
+		Cost:             m.Cost,
+		TimedOut:         m.TimedOut,
+		Extra:            extra,
+	}, nil
+}
+
+// UnitPricePerHour implements Environment: the rental price is known without
+// running the job.
+func (e *JobEnvironment) UnitPricePerHour(cfg configspace.Config) (float64, error) {
+	m, err := e.job.Measurement(cfg.ID)
+	if err != nil {
+		return 0, fmt.Errorf("optimizer: looking up unit price of config %d: %w", cfg.ID, err)
+	}
+	return m.UnitPricePerHour, nil
+}
+
+// ResolveBootstrapSize returns the bootstrap size to use: the explicit option
+// when positive, otherwise the paper default max(3%·|space|, #dimensions).
+func ResolveBootstrapSize(space *configspace.Space, opts Options) (int, error) {
+	if opts.BootstrapSize > 0 {
+		if opts.BootstrapSize > space.Size() {
+			return space.Size(), nil
+		}
+		return opts.BootstrapSize, nil
+	}
+	return lhs.DefaultBootstrapSize(space)
+}
+
+// RunTrial profiles a configuration and updates the history and budget
+// (the Update function of Algorithm 1). The setup cost, when configured, is
+// charged against the budget on top of the run cost.
+func RunTrial(env Environment, cfg configspace.Config, h *History, budget *Budget, setup SetupCostFunc) (TrialResult, error) {
+	trial, err := env.Run(cfg)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	expense := trial.Cost
+	if setup != nil {
+		expense += setup(h.Deployed(), cfg)
+	}
+	if err := budget.Spend(expense); err != nil {
+		return TrialResult{}, err
+	}
+	h.Add(trial)
+	return trial, nil
+}
+
+// Bootstrap profiles n configurations chosen by Latin Hypercube Sampling and
+// records them in the history (Algorithm 1, lines 6-8).
+func Bootstrap(env Environment, n int, rng *rand.Rand, h *History, budget *Budget, setup SetupCostFunc) error {
+	if n <= 0 {
+		return fmt.Errorf("optimizer: bootstrap size must be positive, got %d", n)
+	}
+	samples, err := lhs.Sample(env.Space(), n, rng)
+	if err != nil {
+		return fmt.Errorf("optimizer: bootstrap sampling: %w", err)
+	}
+	for _, cfg := range samples {
+		if _, err := RunTrial(env, cfg, h, budget, setup); err != nil {
+			return fmt.Errorf("optimizer: bootstrap trial on config %d: %w", cfg.ID, err)
+		}
+	}
+	return nil
+}

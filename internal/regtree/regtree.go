@@ -1,0 +1,277 @@
+// Package regtree implements CART-style regression trees. They are the base
+// learners of the bagging ensemble that Lynceus uses as its black-box cost
+// model (paper §3, "Regression model"): each tree is trained on a random
+// sub-sample of the profiled configurations and predicts the job cost from
+// the configuration's feature vector.
+package regtree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrNoTrainingData is returned when a tree is trained on an empty dataset.
+var ErrNoTrainingData = errors.New("regtree: no training data")
+
+// Params configures tree induction. The zero value is normalized by
+// (*Params).withDefaults to a fully grown tree that considers every feature
+// at every split.
+type Params struct {
+	// MaxDepth bounds the depth of the tree; 0 means unbounded.
+	MaxDepth int
+	// MinLeafSize is the minimum number of samples per leaf; values below 1
+	// are treated as 1.
+	MinLeafSize int
+	// MinSamplesSplit is the minimum number of samples required to attempt a
+	// split; values below 2 are treated as 2.
+	MinSamplesSplit int
+	// FeatureFraction is the fraction of features examined at each split
+	// (random-subspace randomization). Values outside (0,1] are treated as 1.
+	FeatureFraction float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.MinLeafSize < 1 {
+		p.MinLeafSize = 1
+	}
+	if p.MinSamplesSplit < 2 {
+		p.MinSamplesSplit = 2
+	}
+	if p.FeatureFraction <= 0 || p.FeatureFraction > 1 {
+		p.FeatureFraction = 1
+	}
+	return p
+}
+
+// node is a tree node; leaves carry the mean target of the samples they
+// cover, internal nodes carry an axis-aligned split.
+type node struct {
+	feature   int
+	threshold float64
+	left      *node
+	right     *node
+	leaf      bool
+	value     float64
+}
+
+// Tree is a trained regression tree.
+type Tree struct {
+	root        *node
+	numFeatures int
+	leaves      int
+	depth       int
+}
+
+// Train fits a regression tree to the given feature matrix and targets. Every
+// row of features must have the same length, and len(features) must equal
+// len(targets). The rng is only used when Params.FeatureFraction < 1; it may
+// be nil otherwise.
+func Train(features [][]float64, targets []float64, params Params, rng *rand.Rand) (*Tree, error) {
+	if len(features) == 0 {
+		return nil, ErrNoTrainingData
+	}
+	if len(features) != len(targets) {
+		return nil, fmt.Errorf("regtree: %d feature rows but %d targets", len(features), len(targets))
+	}
+	numFeatures := len(features[0])
+	if numFeatures == 0 {
+		return nil, errors.New("regtree: feature rows are empty")
+	}
+	for i, row := range features {
+		if len(row) != numFeatures {
+			return nil, fmt.Errorf("regtree: feature row %d has %d columns, want %d", i, len(row), numFeatures)
+		}
+	}
+	for i, y := range targets {
+		if math.IsNaN(y) || math.IsInf(y, 0) {
+			return nil, fmt.Errorf("regtree: target %d is not finite: %v", i, y)
+		}
+	}
+	params = params.withDefaults()
+	if params.FeatureFraction < 1 && rng == nil {
+		return nil, errors.New("regtree: rng required when FeatureFraction < 1")
+	}
+
+	indices := make([]int, len(features))
+	for i := range indices {
+		indices[i] = i
+	}
+	t := &Tree{numFeatures: numFeatures}
+	t.root = t.grow(features, targets, indices, params, rng, 1)
+	return t, nil
+}
+
+// grow recursively builds the tree over the samples referenced by indices.
+func (t *Tree) grow(features [][]float64, targets []float64, indices []int, params Params, rng *rand.Rand, depth int) *node {
+	if depth > t.depth {
+		t.depth = depth
+	}
+	mean := meanOf(targets, indices)
+
+	mustLeaf := len(indices) < params.MinSamplesSplit ||
+		(params.MaxDepth > 0 && depth > params.MaxDepth) ||
+		isConstant(targets, indices)
+	if !mustLeaf {
+		if feature, threshold, ok := t.bestSplit(features, targets, indices, params, rng); ok {
+			left, right := partition(features, indices, feature, threshold)
+			if len(left) >= params.MinLeafSize && len(right) >= params.MinLeafSize {
+				return &node{
+					feature:   feature,
+					threshold: threshold,
+					left:      t.grow(features, targets, left, params, rng, depth+1),
+					right:     t.grow(features, targets, right, params, rng, depth+1),
+				}
+			}
+		}
+	}
+	t.leaves++
+	return &node{leaf: true, value: mean}
+}
+
+// bestSplit finds the axis-aligned split that minimizes the total sum of
+// squared errors of the two children. It returns ok=false when no valid split
+// exists (e.g. all candidate features are constant).
+func (t *Tree) bestSplit(features [][]float64, targets []float64, indices []int, params Params, rng *rand.Rand) (int, float64, bool) {
+	candidates := t.candidateFeatures(params, rng)
+
+	bestSSE := math.Inf(1)
+	bestFeature := -1
+	bestThreshold := 0.0
+
+	sorted := make([]int, len(indices))
+	for _, f := range candidates {
+		copy(sorted, indices)
+		sort.Slice(sorted, func(i, j int) bool { return features[sorted[i]][f] < features[sorted[j]][f] })
+
+		// Prefix sums of targets over the sorted order enable O(1) SSE
+		// evaluation per split position.
+		n := len(sorted)
+		prefixSum := make([]float64, n+1)
+		prefixSq := make([]float64, n+1)
+		for i, idx := range sorted {
+			y := targets[idx]
+			prefixSum[i+1] = prefixSum[i] + y
+			prefixSq[i+1] = prefixSq[i] + y*y
+		}
+
+		for i := params.MinLeafSize; i <= n-params.MinLeafSize; i++ {
+			lo := features[sorted[i-1]][f]
+			hi := features[sorted[i]][f]
+			if lo == hi {
+				continue
+			}
+			leftSSE := sse(prefixSum[i], prefixSq[i], float64(i))
+			rightSSE := sse(prefixSum[n]-prefixSum[i], prefixSq[n]-prefixSq[i], float64(n-i))
+			total := leftSSE + rightSSE
+			if total < bestSSE {
+				bestSSE = total
+				bestFeature = f
+				bestThreshold = (lo + hi) / 2
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return 0, 0, false
+	}
+	return bestFeature, bestThreshold, true
+}
+
+// candidateFeatures returns the features examined at a split, applying the
+// random-subspace fraction when configured.
+func (t *Tree) candidateFeatures(params Params, rng *rand.Rand) []int {
+	all := make([]int, t.numFeatures)
+	for i := range all {
+		all[i] = i
+	}
+	if params.FeatureFraction >= 1 {
+		return all
+	}
+	k := int(math.Ceil(params.FeatureFraction * float64(t.numFeatures)))
+	if k < 1 {
+		k = 1
+	}
+	if k >= t.numFeatures {
+		return all
+	}
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	picked := all[:k]
+	sort.Ints(picked)
+	return picked
+}
+
+// sse computes sum((y - mean)^2) from the sum and sum of squares of a group.
+func sse(sum, sumSq, count float64) float64 {
+	if count == 0 {
+		return 0
+	}
+	v := sumSq - sum*sum/count
+	if v < 0 {
+		// Guard against tiny negative values from floating point cancellation.
+		return 0
+	}
+	return v
+}
+
+func partition(features [][]float64, indices []int, feature int, threshold float64) (left, right []int) {
+	left = make([]int, 0, len(indices))
+	right = make([]int, 0, len(indices))
+	for _, idx := range indices {
+		if features[idx][feature] <= threshold {
+			left = append(left, idx)
+		} else {
+			right = append(right, idx)
+		}
+	}
+	return left, right
+}
+
+func meanOf(targets []float64, indices []int) float64 {
+	if len(indices) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, idx := range indices {
+		sum += targets[idx]
+	}
+	return sum / float64(len(indices))
+}
+
+func isConstant(targets []float64, indices []int) bool {
+	for _, idx := range indices[1:] {
+		if targets[idx] != targets[indices[0]] {
+			return false
+		}
+	}
+	return true
+}
+
+// Predict returns the tree's estimate for the given feature vector.
+func (t *Tree) Predict(x []float64) (float64, error) {
+	if t == nil || t.root == nil {
+		return 0, errors.New("regtree: predict on untrained tree")
+	}
+	if len(x) != t.numFeatures {
+		return 0, fmt.Errorf("regtree: feature vector has %d columns, want %d", len(x), t.numFeatures)
+	}
+	n := t.root
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value, nil
+}
+
+// NumFeatures returns the number of input features the tree was trained on.
+func (t *Tree) NumFeatures() int { return t.numFeatures }
+
+// Leaves returns the number of leaves in the tree.
+func (t *Tree) Leaves() int { return t.leaves }
+
+// Depth returns the depth of the tree (a single leaf has depth 1).
+func (t *Tree) Depth() int { return t.depth }

@@ -1,0 +1,117 @@
+// Package report renders experiment results as aligned ASCII tables and CSV,
+// the formats emitted by the lynceus-exp command and recorded in
+// EXPERIMENTS.md.
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a simple column-oriented result table.
+type Table struct {
+	// Title is printed above the table.
+	Title string
+	// Columns are the column headers.
+	Columns []string
+	// Rows hold one cell per column.
+	Rows [][]string
+}
+
+// AddRow appends a row, padding or truncating it to the number of columns.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Validate checks the table's shape.
+func (t *Table) Validate() error {
+	if len(t.Columns) == 0 {
+		return errors.New("report: table has no columns")
+	}
+	for i, row := range t.Rows {
+		if len(row) != len(t.Columns) {
+			return fmt.Errorf("report: row %d has %d cells, want %d", i, len(row), len(t.Columns))
+		}
+	}
+	return nil
+}
+
+// WriteASCII renders the table with aligned columns.
+func (t *Table) WriteASCII(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString("# " + t.Title + "\n")
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	separators := make([]string, len(t.Columns))
+	for i, w := range widths {
+		separators[i] = strings.Repeat("-", w)
+	}
+	writeRow(separators)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	if err != nil {
+		return fmt.Errorf("report: writing table: %w", err)
+	}
+	return nil
+}
+
+// WriteCSV renders the table as CSV (no quoting of cells; experiment cells
+// never contain commas).
+func (t *Table) WriteCSV(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ",") + "\n")
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ",") + "\n")
+	}
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("report: writing CSV: %w", err)
+	}
+	return nil
+}
+
+// FormatFloat renders a float with the given number of decimal places.
+func FormatFloat(v float64, decimals int) string {
+	return strconv.FormatFloat(v, 'f', decimals, 64)
+}
+
+// FormatInt renders an integer.
+func FormatInt(v int) string { return strconv.Itoa(v) }

@@ -1,0 +1,86 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAddRowPadsAndTruncates(t *testing.T) {
+	tbl := Table{Columns: []string{"a", "b", "c"}}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("1", "2", "3", "4")
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	if tbl.Rows[0][2] != "" {
+		t.Errorf("short row not padded: %v", tbl.Rows[0])
+	}
+	if len(tbl.Rows[1]) != 3 {
+		t.Errorf("long row not truncated: %v", tbl.Rows[1])
+	}
+}
+
+func TestTableValidate(t *testing.T) {
+	empty := Table{}
+	if err := empty.Validate(); err == nil {
+		t.Error("table without columns should be invalid")
+	}
+	bad := Table{Columns: []string{"a"}, Rows: [][]string{{"1", "2"}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("row with wrong arity should be invalid")
+	}
+	if err := bad.WriteASCII(&strings.Builder{}); err == nil {
+		t.Error("WriteASCII should propagate validation errors")
+	}
+	if err := bad.WriteCSV(&strings.Builder{}); err == nil {
+		t.Error("WriteCSV should propagate validation errors")
+	}
+}
+
+func TestWriteASCII(t *testing.T) {
+	tbl := Table{Title: "demo", Columns: []string{"optimizer", "cno"}}
+	tbl.AddRow("lynceus", "1.00")
+	tbl.AddRow("bo", "1.73")
+	var sb strings.Builder
+	if err := tbl.WriteASCII(&sb); err != nil {
+		t.Fatalf("WriteASCII error: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# demo") {
+		t.Errorf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "optimizer  cno") {
+		t.Errorf("missing aligned header: %q", out)
+	}
+	if !strings.Contains(out, "lynceus") || !strings.Contains(out, "1.73") {
+		t.Errorf("missing data rows: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Errorf("expected 5 lines (title, header, separator, 2 rows), got %d: %q", len(lines), out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tbl := Table{Columns: []string{"a", "b"}}
+	tbl.AddRow("1", "2")
+	var sb strings.Builder
+	if err := tbl.WriteCSV(&sb); err != nil {
+		t.Fatalf("WriteCSV error: %v", err)
+	}
+	if sb.String() != "a,b\n1,2\n" {
+		t.Errorf("CSV = %q", sb.String())
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := FormatFloat(1.23456, 2); got != "1.23" {
+		t.Errorf("FormatFloat = %q", got)
+	}
+	if got := FormatFloat(2, 0); got != "2" {
+		t.Errorf("FormatFloat = %q", got)
+	}
+	if got := FormatInt(42); got != "42" {
+		t.Errorf("FormatInt = %q", got)
+	}
+}

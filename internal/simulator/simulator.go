@@ -1,0 +1,279 @@
+// Package simulator drives the paper's evaluation methodology (§5.2): it
+// replays one or more optimizers against a profiled job many times, each run
+// bootstrapped with a different (but across-optimizer shared) random seed, and
+// aggregates the metrics the paper reports — the cost of the recommended
+// configuration normalized to the optimum (CNO) and the number of
+// explorations performed (NEX) — together with per-exploration convergence
+// traces used by Figure 7.
+package simulator
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/optimizer"
+	"repro/internal/stat"
+)
+
+// DefaultBudgetMultiplier is the default budget parameter b (medium budget,
+// §5.2): the budget is b times the expected cost of the bootstrap phase.
+const DefaultBudgetMultiplier = 3
+
+// Config describes one evaluation campaign of a single job.
+type Config struct {
+	// Job is the profiled job to optimize.
+	Job *dataset.Job
+	// Runs is the number of independent optimization runs; the paper uses at
+	// least 100. Values below 1 are rejected.
+	Runs int
+	// BudgetMultiplier is the b parameter: B = N·m̃·b. Zero falls back to
+	// DefaultBudgetMultiplier.
+	BudgetMultiplier float64
+	// FeasibleFraction is the fraction of configurations that must satisfy
+	// the runtime constraint; the constraint Tmax is derived from it. Zero
+	// falls back to 0.5 (paper §5.2). Ignored when MaxRuntimeSeconds is set.
+	FeasibleFraction float64
+	// MaxRuntimeSeconds overrides the derived runtime constraint when > 0.
+	MaxRuntimeSeconds float64
+	// BootstrapSize overrides the paper-default initial sample count when > 0.
+	BootstrapSize int
+	// BaseSeed seeds the per-run seeds; run i uses BaseSeed + i so that all
+	// optimizers see the same bootstrap samples in their i-th run.
+	BaseSeed int64
+	// ExtraConstraints adds additional constraints (multi-constraint
+	// extension).
+	ExtraConstraints []optimizer.Constraint
+	// SetupCost charges deployment switches against the budget when non-nil.
+	SetupCost optimizer.SetupCostFunc
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Job == nil {
+		return Config{}, errors.New("simulator: config requires a job")
+	}
+	if c.Runs < 1 {
+		return Config{}, fmt.Errorf("simulator: runs must be positive, got %d", c.Runs)
+	}
+	if c.BudgetMultiplier == 0 {
+		c.BudgetMultiplier = DefaultBudgetMultiplier
+	}
+	if c.BudgetMultiplier <= 0 {
+		return Config{}, fmt.Errorf("simulator: budget multiplier must be positive, got %v", c.BudgetMultiplier)
+	}
+	if c.FeasibleFraction == 0 {
+		c.FeasibleFraction = 0.5
+	}
+	if c.FeasibleFraction < 0 || c.FeasibleFraction > 1 {
+		return Config{}, fmt.Errorf("simulator: feasible fraction %v outside (0,1]", c.FeasibleFraction)
+	}
+	return c, nil
+}
+
+// RunMetrics captures the outcome of a single optimization run.
+type RunMetrics struct {
+	// Seed is the per-run seed.
+	Seed int64
+	// CNO is the cost of the recommended configuration normalized by the
+	// optimum's cost.
+	CNO float64
+	// Feasible reports whether the recommendation met the constraints.
+	Feasible bool
+	// Explorations is the number of configurations profiled (NEX).
+	Explorations int
+	// SpentBudget is the profiling money actually spent.
+	SpentBudget float64
+	// BestCNOByExploration[i] is the CNO of the best feasible configuration
+	// found within the first i+1 explorations (+Inf until a feasible
+	// configuration is found); it is the convergence trace of Figure 7.
+	BestCNOByExploration []float64
+}
+
+// JobResult aggregates the runs of one optimizer on one job.
+type JobResult struct {
+	JobName       string
+	OptimizerName string
+	// Tmax is the runtime constraint used.
+	Tmax float64
+	// Budget is the monetary budget B of every run.
+	Budget float64
+	// OptimalCost is the cost of the true optimum under Tmax.
+	OptimalCost float64
+	// Runs holds the per-run metrics.
+	Runs []RunMetrics
+}
+
+// CNOs returns the CNO of every run.
+func (r JobResult) CNOs() []float64 {
+	out := make([]float64, len(r.Runs))
+	for i, run := range r.Runs {
+		out[i] = run.CNO
+	}
+	return out
+}
+
+// Explorations returns the NEX of every run.
+func (r JobResult) Explorations() []float64 {
+	out := make([]float64, len(r.Runs))
+	for i, run := range r.Runs {
+		out[i] = float64(run.Explorations)
+	}
+	return out
+}
+
+// CNOSummary summarizes the CNO distribution.
+func (r JobResult) CNOSummary() (stat.Summary, error) { return stat.Summarize(r.CNOs()) }
+
+// NEXSummary summarizes the NEX distribution.
+func (r JobResult) NEXSummary() (stat.Summary, error) { return stat.Summarize(r.Explorations()) }
+
+// Evaluate runs one optimizer against the configured job.
+func Evaluate(opt optimizer.Optimizer, cfg Config) (JobResult, error) {
+	if opt == nil {
+		return JobResult{}, errors.New("simulator: nil optimizer")
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return JobResult{}, err
+	}
+
+	tmax := cfg.MaxRuntimeSeconds
+	if tmax <= 0 {
+		tmax, err = cfg.Job.RuntimeForFeasibleFraction(cfg.FeasibleFraction)
+		if err != nil {
+			return JobResult{}, fmt.Errorf("simulator: deriving runtime constraint: %w", err)
+		}
+	}
+	optimum, err := cfg.Job.Optimum(tmax)
+	if err != nil {
+		return JobResult{}, fmt.Errorf("simulator: job %q has no feasible configuration: %w", cfg.Job.Name(), err)
+	}
+
+	env, err := optimizer.NewJobEnvironment(cfg.Job)
+	if err != nil {
+		return JobResult{}, err
+	}
+	bootstrapSize := cfg.BootstrapSize
+	if bootstrapSize <= 0 {
+		bootstrapSize, err = optimizer.ResolveBootstrapSize(cfg.Job.Space(), optimizer.Options{Budget: 1, MaxRuntimeSeconds: 1})
+		if err != nil {
+			return JobResult{}, err
+		}
+	}
+	budget := float64(bootstrapSize) * cfg.Job.MeanCost() * cfg.BudgetMultiplier
+
+	result := JobResult{
+		JobName:       cfg.Job.Name(),
+		OptimizerName: opt.Name(),
+		Tmax:          tmax,
+		Budget:        budget,
+		OptimalCost:   optimum.Cost,
+		Runs:          make([]RunMetrics, 0, cfg.Runs),
+	}
+
+	for run := 0; run < cfg.Runs; run++ {
+		seed := cfg.BaseSeed + int64(run)
+		opts := optimizer.Options{
+			Budget:            budget,
+			MaxRuntimeSeconds: tmax,
+			BootstrapSize:     cfg.BootstrapSize,
+			Seed:              seed,
+			ExtraConstraints:  cfg.ExtraConstraints,
+			SetupCost:         cfg.SetupCost,
+		}
+		res, err := opt.Optimize(env, opts)
+		if err != nil {
+			return JobResult{}, fmt.Errorf("simulator: run %d of %s on %s: %w", run, opt.Name(), cfg.Job.Name(), err)
+		}
+		metrics := RunMetrics{
+			Seed:                 seed,
+			CNO:                  res.Recommended.Cost / optimum.Cost,
+			Feasible:             res.RecommendedFeasible,
+			Explorations:         res.Explorations,
+			SpentBudget:          res.SpentBudget,
+			BestCNOByExploration: convergenceTrace(res, opts, optimum.Cost),
+		}
+		result.Runs = append(result.Runs, metrics)
+	}
+	return result, nil
+}
+
+// EvaluateAll runs several optimizers on the same job configuration. Because
+// every run derives its seed from BaseSeed + run index, the i-th run of every
+// optimizer bootstraps from the same initial configurations, matching the
+// paper's "same set of initial configurations for their own i-th run"
+// methodology.
+func EvaluateAll(opts []optimizer.Optimizer, cfg Config) ([]JobResult, error) {
+	out := make([]JobResult, 0, len(opts))
+	for _, opt := range opts {
+		res, err := Evaluate(opt, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// convergenceTrace computes the best-feasible-so-far CNO after each
+// exploration of a run.
+func convergenceTrace(res optimizer.Result, opts optimizer.Options, optimalCost float64) []float64 {
+	trace := make([]float64, len(res.Trials))
+	best := math.Inf(1)
+	for i, tr := range res.Trials {
+		if tr.Feasible(opts.MaxRuntimeSeconds, opts.ExtraConstraints) && tr.Cost < best {
+			best = tr.Cost
+		}
+		if math.IsInf(best, 1) {
+			trace[i] = math.Inf(1)
+		} else {
+			trace[i] = best / optimalCost
+		}
+	}
+	return trace
+}
+
+// ConvergenceCurve aggregates the per-run convergence traces of a JobResult
+// into a percentile curve: point i is the given percentile of the best-so-far
+// CNO after exploration i+1, computed across the runs that performed at least
+// i+1 explorations. Runs that have already stopped contribute their final
+// value, matching how Figure 7 extends each optimizer's curve to the right.
+func ConvergenceCurve(result JobResult, percentile float64) ([]float64, error) {
+	if len(result.Runs) == 0 {
+		return nil, errors.New("simulator: no runs to aggregate")
+	}
+	maxLen := 0
+	for _, run := range result.Runs {
+		if len(run.BestCNOByExploration) > maxLen {
+			maxLen = len(run.BestCNOByExploration)
+		}
+	}
+	curve := make([]float64, maxLen)
+	for i := 0; i < maxLen; i++ {
+		values := make([]float64, 0, len(result.Runs))
+		for _, run := range result.Runs {
+			trace := run.BestCNOByExploration
+			if len(trace) == 0 {
+				continue
+			}
+			idx := i
+			if idx >= len(trace) {
+				idx = len(trace) - 1
+			}
+			v := trace[idx]
+			if math.IsInf(v, 1) {
+				// No feasible configuration yet: represent it with a large
+				// sentinel so percentiles remain finite.
+				v = math.MaxFloat64
+			}
+			values = append(values, v)
+		}
+		p, err := stat.Percentile(values, percentile)
+		if err != nil {
+			return nil, err
+		}
+		curve[i] = p
+	}
+	return curve, nil
+}

@@ -1,0 +1,208 @@
+// Package lynceus is the public API of the Lynceus reproduction: a
+// budget-aware, long-sighted Bayesian-optimization tuner that jointly selects
+// the cloud configuration (VM type, cluster size) and the job parameters
+// (e.g. hyper-parameters) minimizing the monetary cost of a recurrent data
+// analytic job under a maximum-runtime constraint and a profiling budget
+// (Casimiro et al., "Lynceus: Cost-efficient Tuning and Provisioning of Data
+// Analytic Jobs", ICDCS 2020).
+//
+// The typical flow is:
+//
+//  1. describe the configuration space (NewSpace) or load a profiled lookup
+//     table (ReadJobCSV / synthetic generators);
+//  2. wrap it in an Environment (NewJobEnvironment), or implement Environment
+//     against a real cloud;
+//  3. create a tuner (NewTuner) and call Optimize with a budget and a
+//     runtime constraint;
+//  4. deploy the recommended configuration from the returned Result.
+//
+// The package also exposes the BO and random baselines and the evaluation
+// harness used to reproduce the paper's figures.
+package lynceus
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bagging"
+	"repro/internal/baselines"
+	"repro/internal/configspace"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/gp"
+	"repro/internal/model"
+	"repro/internal/optimizer"
+	"repro/internal/simulator"
+	"repro/internal/synth"
+)
+
+// Core domain types, re-exported from the internal packages so that library
+// users never import repro/internal/... directly.
+type (
+	// Dimension is one axis of a configuration space.
+	Dimension = configspace.Dimension
+	// Space is a finite configuration space.
+	Space = configspace.Space
+	// Config is one configuration of a space.
+	Config = configspace.Config
+	// Job is a profiled job: a space plus one measurement per configuration.
+	Job = dataset.Job
+	// Measurement is the profiling outcome of one configuration.
+	Measurement = dataset.Measurement
+	// Environment abstracts "deploy configuration x, run the job, observe
+	// runtime and cost".
+	Environment = optimizer.Environment
+	// Trial is the outcome of profiling one configuration during tuning.
+	Trial = optimizer.TrialResult
+	// Constraint is one "metric <= threshold" requirement.
+	Constraint = optimizer.Constraint
+	// SetupCostFunc estimates the cost of switching between deployments.
+	SetupCostFunc = optimizer.SetupCostFunc
+	// Options configures a tuning run (budget, runtime constraint, seed, ...).
+	Options = optimizer.Options
+	// Result is the outcome of a tuning run.
+	Result = optimizer.Result
+	// Optimizer is implemented by Lynceus and by the baselines.
+	Optimizer = optimizer.Optimizer
+	// EvaluationConfig configures a repeated-runs evaluation campaign.
+	EvaluationConfig = simulator.Config
+	// Evaluation aggregates the metrics of an evaluation campaign.
+	Evaluation = simulator.JobResult
+)
+
+// NewSpace builds a configuration space from the Cartesian product of dims,
+// optionally restricted by filter (nil keeps every combination).
+func NewSpace(dims []Dimension, filter func(indices []int) bool) (*Space, error) {
+	return configspace.New(dims, filter)
+}
+
+// NewJob builds a profiled job from a space and one measurement per
+// configuration. timeoutSeconds is the forceful-termination limit used during
+// profiling (0 when none).
+func NewJob(name string, space *Space, measurements []Measurement, timeoutSeconds float64) (*Job, error) {
+	return dataset.NewJob(name, space, measurements, timeoutSeconds)
+}
+
+// ReadJobCSV parses a profiled job from CSV (see WriteJobCSV for the format).
+func ReadJobCSV(r io.Reader) (*Job, error) { return dataset.ReadCSV(r) }
+
+// WriteJobCSV serializes a profiled job as CSV: one column per dimension
+// followed by runtime_seconds, unit_price_per_hour, cost, timed_out and
+// extra_<metric> columns.
+func WriteJobCSV(w io.Writer, job *Job) error { return dataset.WriteCSV(w, job) }
+
+// NewJobEnvironment wraps a profiled job as an Environment that replays its
+// measurements, which is how the paper evaluates optimizers.
+func NewJobEnvironment(job *Job) (Environment, error) { return optimizer.NewJobEnvironment(job) }
+
+// TunerConfig tunes the Lynceus optimizer itself. The zero value reproduces
+// the paper's defaults (lookahead 2, discount 0.9, 3-point Gauss-Hermite
+// quadrature, 10-tree bagging ensemble).
+type TunerConfig struct {
+	// Lookahead is the LA window; negative values are invalid. The special
+	// value 0 means "use the paper default (2)"; use Myopic to request LA=0.
+	Lookahead int
+	// Myopic requests the LA=0 variant (cost-normalized greedy selection).
+	Myopic bool
+	// Discount is the discount factor γ applied to future rewards (0 = paper
+	// default 0.9).
+	Discount float64
+	// GHOrder is the Gauss-Hermite order K (0 = paper default 3).
+	GHOrder int
+	// EnsembleTrees is the bagging ensemble size (0 = paper default 10).
+	EnsembleTrees int
+	// CostModel selects the regression model family: "bagging" (default, the
+	// paper's ensemble of regression trees) or "gp" (Gaussian Process, the
+	// paper's footnote-1 alternative).
+	CostModel string
+	// Workers bounds path-evaluation parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// NewTuner creates a Lynceus tuner.
+func NewTuner(cfg TunerConfig) (Optimizer, error) {
+	lookahead := cfg.Lookahead
+	if lookahead == 0 && !cfg.Myopic {
+		lookahead = core.DefaultLookahead
+	}
+	if cfg.Myopic {
+		lookahead = 0
+	}
+	if cfg.Lookahead < 0 {
+		return nil, fmt.Errorf("lynceus: negative lookahead %d", cfg.Lookahead)
+	}
+	params := core.Params{
+		Lookahead: lookahead,
+		Discount:  cfg.Discount,
+		GHOrder:   cfg.GHOrder,
+		Model:     bagging.Params{NumTrees: cfg.EnsembleTrees},
+		Workers:   cfg.Workers,
+	}
+	switch cfg.CostModel {
+	case "", string(model.KindBagging):
+		// Default bagging factory is created per optimization run so it can
+		// be seeded from Options.Seed.
+	case string(model.KindGP):
+		params.ModelFactory = model.NewGPFactory(gp.Params{})
+	default:
+		return nil, fmt.Errorf("lynceus: unknown cost model %q (want %q or %q)",
+			cfg.CostModel, model.KindBagging, model.KindGP)
+	}
+	return core.New(params)
+}
+
+// NewBOBaseline creates the CherryPick/Arrow-style greedy constrained-EI
+// Bayesian optimizer used as the main baseline in the paper.
+func NewBOBaseline() (Optimizer, error) {
+	return baselines.NewBO(baselines.BOParams{})
+}
+
+// NewRandomBaseline creates the RND baseline, which profiles random
+// configurations until the budget is exhausted.
+func NewRandomBaseline() Optimizer { return baselines.NewRandom() }
+
+// Tune is a convenience one-shot helper: it runs the default Lynceus tuner
+// (LA=2) against the environment with the given options.
+func Tune(env Environment, opts Options) (Result, error) {
+	tuner, err := NewTuner(TunerConfig{})
+	if err != nil {
+		return Result{}, err
+	}
+	return tuner.Optimize(env, opts)
+}
+
+// Evaluate runs an optimizer repeatedly against a profiled job, replaying the
+// stored measurements and aggregating CNO/NEX metrics as in the paper's
+// evaluation methodology.
+func Evaluate(opt Optimizer, cfg EvaluationConfig) (Evaluation, error) {
+	return simulator.Evaluate(opt, cfg)
+}
+
+// Synthetic datasets ---------------------------------------------------------
+
+// SyntheticTensorflowJobs generates the three Tensorflow-style jobs (cnn,
+// rnn, multilayer) with the 384-point, 5-dimensional configuration space of
+// the paper's §5.1.1.
+func SyntheticTensorflowJobs(seed int64) ([]*Job, error) { return synth.TensorflowJobs(seed) }
+
+// SyntheticTensorflowJob generates one Tensorflow-style job by name ("cnn",
+// "rnn" or "multilayer").
+func SyntheticTensorflowJob(name string, seed int64) (*Job, error) {
+	for _, kind := range synth.TensorflowKinds() {
+		if kind.String() == name {
+			return synth.TensorflowJob(kind, seed)
+		}
+	}
+	return nil, fmt.Errorf("lynceus: unknown tensorflow job %q (want cnn, rnn or multilayer)", name)
+}
+
+// SyntheticScoutJobs generates the 18 Scout-style Hadoop/Spark jobs of §5.1.2.
+func SyntheticScoutJobs(seed int64) ([]*Job, error) { return synth.ScoutJobs(seed) }
+
+// SyntheticCherryPickJobs generates the 5 CherryPick-style jobs of §5.1.2.
+func SyntheticCherryPickJobs(seed int64) ([]*Job, error) { return synth.CherryPickJobs(seed) }
+
+// EnergyMetric is the name of the synthetic energy metric attached to the
+// Tensorflow jobs; use it with Constraint to exercise the multi-constraint
+// extension.
+const EnergyMetric = synth.EnergyMetric
