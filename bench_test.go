@@ -18,6 +18,7 @@ package lynceus
 // incremental work of each artifact, not independent end-to-end runs.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -85,6 +86,15 @@ func BenchmarkFig9Explorations(b *testing.B)    { benchmarkExperiment(b, "fig9")
 // experiment reports the normalized per-decision seconds).
 func benchmarkTable3(b *testing.B, opt Optimizer) {
 	b.Helper()
+	// Slightly more than the bootstrap cost: a few decisions only.
+	benchmarkTensorflowRun(b, opt, 1.1)
+}
+
+// benchmarkTensorflowRun times whole optimization runs on the 384-point
+// Tensorflow space with a budget of budgetMultiplier times the bootstrap
+// cost.
+func benchmarkTensorflowRun(b *testing.B, opt Optimizer, budgetMultiplier float64) {
+	b.Helper()
 	job, err := SyntheticTensorflowJob("cnn", 42)
 	if err != nil {
 		b.Fatalf("SyntheticTensorflowJob: %v", err)
@@ -102,16 +112,46 @@ func benchmarkTable3(b *testing.B, opt Optimizer) {
 		b.Fatalf("ResolveBootstrapSize: %v", err)
 	}
 	opts := Options{
-		// Slightly more than the bootstrap cost: a few decisions only.
-		Budget:            float64(bootstrap) * job.MeanCost() * 1.1,
+		Budget:            float64(bootstrap) * job.MeanCost() * budgetMultiplier,
 		MaxRuntimeSeconds: tmax,
 		Seed:              1,
 	}
 	b.ResetTimer()
+	decisions := 0
 	for i := 0; i < b.N; i++ {
-		if _, err := opt.Optimize(env, opts); err != nil {
+		res, err := opt.Optimize(env, opts)
+		if err != nil {
 			b.Fatalf("Optimize: %v", err)
 		}
+		decisions += res.Explorations - bootstrap
+	}
+	if decisions > 0 {
+		// The number of planning decisions a budget buys varies with the
+		// optimizer's choices, so the per-decision planning time is the
+		// comparable number across planner versions.
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(decisions), "ns/decision")
+	}
+}
+
+// BenchmarkPlannerLA2Tensorflow measures the long-sighted (LA=2) planner on
+// the 384-point Tensorflow space at several worker counts. The 1.5x budget
+// leaves ~20 post-bootstrap decisions, so ns/op tracks the per-decision
+// planning cost — the hot path optimized by the parallel fan-out, the
+// per-generation prediction memo, and the optimistic-bound candidate pruning.
+//
+// Reference numbers on one 2.70GHz Xeon core (-benchtime=3x): the seed's
+// serial planner needed 520ms per decision (10.40s per run); the memoized +
+// pruned planner needs 255ms with 1 worker and 247ms with 8 workers — 2.1x
+// faster (see README.md, "Performance").
+func BenchmarkPlannerLA2Tensorflow(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			lyn, err := NewTuner(TunerConfig{Lookahead: 2, Workers: workers})
+			if err != nil {
+				b.Fatalf("NewTuner: %v", err)
+			}
+			benchmarkTensorflowRun(b, lyn, 1.5)
+		})
 	}
 }
 

@@ -1,8 +1,3 @@
-// Package acquisition implements the acquisition functions of the paper
-// (§3): Expected Improvement for minimization, the constrained variant EIc
-// obtained by multiplying EI with the probability that the performance
-// constraints are met, and the incumbent fallback rule used when no profiled
-// configuration satisfies the constraint yet.
 package acquisition
 
 import (

@@ -1,0 +1,12 @@
+// Package acquisition implements the acquisition functions of the paper
+// (§3): Expected Improvement (EI) for minimization, the constrained variant
+// EIc obtained by multiplying EI with the probability that every performance
+// constraint is met, and the incumbent fallback rule used while no profiled
+// configuration satisfies the constraints yet ("most expensive profiled cost
+// plus three times the largest predictive standard deviation").
+//
+// The planner in internal/core calls these functions for every candidate of
+// every speculation state, so they sit directly on the optimizer's hot path;
+// they are pure functions of the predictive Gaussians and therefore safe to
+// evaluate concurrently.
+package acquisition

@@ -1,9 +1,3 @@
-// Package bagging implements the bootstrap-aggregated ensemble of regression
-// trees that Lynceus uses as its black-box cost model (paper §3): each of the
-// ensemble's trees is trained on a random sub-set of the profiled
-// configurations, and the spread of the individual tree predictions provides
-// the per-point mean and standard deviation that the constrained Expected
-// Improvement acquisition function interprets as a Gaussian.
 package bagging
 
 import (
@@ -63,6 +57,14 @@ type Ensemble struct {
 	rng         *rand.Rand
 	trees       []*regtree.Tree
 	numFeatures int
+
+	// Resample buffers reused across fits. Lynceus' path simulation refits
+	// the same ensemble once per speculated outcome, so per-fit allocations
+	// sit directly on the planner's hot path. Trained trees never retain the
+	// buffers (they only store split thresholds and leaf means), which makes
+	// the reuse safe.
+	subFeatures [][]float64
+	subTargets  []float64
 }
 
 // New creates an untrained ensemble. All randomness (bootstrap resampling and
@@ -90,10 +92,15 @@ func (e *Ensemble) Fit(features [][]float64, targets []float64) error {
 		sampleSize = 1
 	}
 
+	if cap(e.subFeatures) < sampleSize {
+		e.subFeatures = make([][]float64, sampleSize)
+		e.subTargets = make([]float64, sampleSize)
+	}
+	subFeatures := e.subFeatures[:sampleSize]
+	subTargets := e.subTargets[:sampleSize]
+
 	trees := make([]*regtree.Tree, 0, e.params.NumTrees)
 	for i := 0; i < e.params.NumTrees; i++ {
-		subFeatures := make([][]float64, sampleSize)
-		subTargets := make([]float64, sampleSize)
 		for j := 0; j < sampleSize; j++ {
 			idx := e.rng.Intn(n)
 			subFeatures[j] = features[idx]

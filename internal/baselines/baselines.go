@@ -1,7 +1,3 @@
-// Package baselines implements the optimizers Lynceus is compared against in
-// the paper's evaluation: the CherryPick/Arrow-style greedy constrained-EI
-// Bayesian optimizer (BO), random search under the same budget (RND), and the
-// idealized disjoint optimization of Figure 1b.
 package baselines
 
 import (

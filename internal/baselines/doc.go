@@ -1,0 +1,12 @@
+// Package baselines implements the optimizers Lynceus is compared against in
+// the paper's evaluation (§5.3, §6): the CherryPick/Arrow-style greedy
+// constrained-EI Bayesian optimizer (BO), random search under the same budget
+// (RND), and the idealized disjoint optimization of Figure 1b that tunes the
+// job parameters and the cloud configuration separately.
+//
+// All baselines implement optimizer.Optimizer and run against the same
+// Environment, budget, and bootstrap samples as Lynceus, which is what makes
+// the CNO/NEX comparisons of the experiment pipeline apples-to-apples. Their
+// Optimize methods keep no mutable receiver state, so one baseline instance
+// can serve concurrent evaluation-campaign runs.
+package baselines

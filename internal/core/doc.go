@@ -1,0 +1,30 @@
+// Package core implements Lynceus, the paper's primary contribution: a
+// budget-aware and long-sighted Bayesian-optimization loop (Algorithms 1
+// and 2) that selects which configuration to profile next by simulating
+// bounded-lookahead exploration paths, discretizing speculated outcomes with
+// Gauss-Hermite quadrature, and maximizing the expected reward-to-cost ratio
+// of the path rooted at each candidate configuration.
+//
+// # Planning hot path
+//
+// One planning decision fits a root model set on the profiling history,
+// precomputes its predictions for every untested configuration on a bounded
+// worker pool, and then scores the exploration path of every eligible
+// candidate concurrently (Params.Workers wide). Three mechanisms keep the
+// search fast without changing its outcome across worker counts:
+//
+//   - Prediction memo: every model is wrapped in a memo keyed by (model
+//     generation, configuration ID) — see internal/model.Cached — so the
+//     planner predicts each configuration once per speculation layer instead
+//     of once per path.
+//   - Deterministic fan-out: each path evaluation owns a scratch model set
+//     whose random stream derives from the candidate ID, never from
+//     scheduling order, so the same seed yields the identical trial sequence
+//     and recommendation for every Params.Workers value.
+//   - Optimistic-bound pruning: for lookahead >= 2 the candidates are ranked
+//     by an optimistic reward-to-cost bound, the top seeds are scored
+//     exactly, and remaining candidates whose bound cannot beat the best
+//     exact ratio are dropped without simulating their paths. The threshold
+//     tightens in fixed-size chunks, depends only on deterministic root-model
+//     quantities, and can be switched off with Params.DisablePruning.
+package core

@@ -1,9 +1,3 @@
-// Package core implements Lynceus, the paper's primary contribution: a
-// budget-aware and long-sighted Bayesian-optimization loop (Algorithms 1
-// and 2) that selects which configuration to profile next by simulating
-// bounded-lookahead exploration paths, discretizing speculated outcomes with
-// Gauss-Hermite quadrature, and maximizing the expected reward-to-cost ratio
-// of the path rooted at each candidate configuration.
 package core
 
 import (
@@ -12,7 +6,6 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/bagging"
 	"repro/internal/model"
@@ -57,8 +50,15 @@ type Params struct {
 	// factory can be supplied to reproduce the footnote-1 variant.
 	ModelFactory model.Factory
 	// Workers bounds the number of exploration paths evaluated concurrently;
-	// 0 uses GOMAXPROCS.
+	// 0 uses GOMAXPROCS. The recommendation is independent of the worker
+	// count: every path evaluation owns a scratch model whose random stream
+	// is derived from the candidate ID, not from scheduling order.
 	Workers int
+	// DisablePruning turns off the optimistic-bound candidate pruning that
+	// cuts the branching factor of the lookahead >= 2 path search. Pruning is
+	// deterministic and worker-count independent; disable it to reproduce
+	// the exhaustive search (e.g. for ablations).
+	DisablePruning bool
 }
 
 func (p Params) withDefaults() (Params, error) {
@@ -182,36 +182,14 @@ type pathScore struct {
 // Every worker uses its own model instances (derived deterministically from
 // the candidate ID), so the result does not depend on scheduling.
 func evaluateCandidatesParallel(workers int, n int, eval func(i int) (pathScore, error)) ([]pathScore, error) {
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > n {
-		workers = n
-	}
 	scores := make([]pathScore, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				scores[i], errs[i] = eval(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	err := optimizer.ParallelFor(workers, n, func(i int) error {
+		var evalErr error
+		scores[i], evalErr = eval(i)
+		return evalErr
+	})
+	if err != nil {
+		return nil, err
 	}
 	return scores, nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"math"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/bagging"
@@ -322,9 +323,9 @@ func TestOptimizeWithExtraConstraint(t *testing.T) {
 func TestOptimizeWithSetupCost(t *testing.T) {
 	env := fixtureEnv(t)
 	opts := fixtureOptions(t, 9)
-	setupCalls := 0
+	var setupCalls atomic.Int64
 	opts.SetupCost = func(from *configspace.Config, to configspace.Config) float64 {
-		setupCalls++
+		setupCalls.Add(1)
 		if from != nil && from.ID == to.ID {
 			return 0
 		}
@@ -338,7 +339,7 @@ func TestOptimizeWithSetupCost(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Optimize error: %v", err)
 	}
-	if setupCalls == 0 {
+	if setupCalls.Load() == 0 {
 		t.Error("setup cost function never invoked")
 	}
 	// The spent budget must include the setup charges: it is strictly larger

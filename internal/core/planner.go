@@ -157,23 +157,29 @@ func (ts *trainSet) maxCost() float64 {
 }
 
 // modelSet bundles the cost model with one model per extra constraint metric.
+// Every model is wrapped in a prediction memo keyed by (model generation,
+// configuration ID), so repeated predictions of the same candidate between
+// refits — the planner re-predicts the whole untested set once per
+// speculation layer — cost one lookup instead of one model evaluation.
 type modelSet struct {
-	cost   model.Regressor
-	extras []model.Regressor
+	cost   *model.Cached
+	extras []*model.Cached
 }
 
 // newModelSet creates untrained models on a deterministic random stream.
 func (p *planner) newModelSet(stream int64) *modelSet {
-	ms := &modelSet{cost: p.factory.New(stream)}
+	size := len(p.configs)
+	ms := &modelSet{cost: model.NewCached(p.factory.New(stream), size)}
 	names := p.constraintNames()
-	ms.extras = make([]model.Regressor, len(names))
+	ms.extras = make([]*model.Cached, len(names))
 	for k := range names {
-		ms.extras[k] = p.factory.New(stream + int64(k+1)*1_000_003)
+		ms.extras[k] = model.NewCached(p.factory.New(stream+int64(k+1)*1_000_003), size)
 	}
 	return ms
 }
 
-// fit trains every model of the set on the given training set.
+// fit trains every model of the set on the given training set, invalidating
+// the prediction memos.
 func (ms *modelSet) fit(ts *trainSet) error {
 	if err := ms.cost.Fit(ts.features, ts.costs); err != nil {
 		return fmt.Errorf("core: fitting cost model: %w", err)
@@ -186,8 +192,8 @@ func (ms *modelSet) fit(ts *trainSet) error {
 	return nil
 }
 
-// predict returns the cost and per-constraint predictive distributions for a
-// feature vector.
+// predict returns the cost and per-constraint predictive distributions for an
+// arbitrary feature vector, bypassing the memo.
 func (ms *modelSet) predict(features []float64) (numeric.Gaussian, []numeric.Gaussian, error) {
 	costPred, err := ms.cost.Predict(features)
 	if err != nil {
@@ -201,6 +207,33 @@ func (ms *modelSet) predict(features []float64) (numeric.Gaussian, []numeric.Gau
 		}
 	}
 	return costPred, extraPreds, nil
+}
+
+// predictCand returns the memoized predictive distributions of a candidate.
+func (ms *modelSet) predictCand(c candidate) (numeric.Gaussian, []numeric.Gaussian, error) {
+	costPred, err := ms.cost.PredictID(c.id, c.features)
+	if err != nil {
+		return numeric.Gaussian{}, nil, err
+	}
+	extraPreds := make([]numeric.Gaussian, len(ms.extras))
+	for k, m := range ms.extras {
+		extraPreds[k], err = m.PredictID(c.id, c.features)
+		if err != nil {
+			return numeric.Gaussian{}, nil, err
+		}
+	}
+	return costPred, extraPreds, nil
+}
+
+// prefill computes the memoized predictions of every candidate on a bounded
+// worker pool. After it returns, predictCand is a read-only lookup for those
+// candidates, which makes the modelSet safe to share across the parallel
+// path-evaluation fan-out.
+func (ms *modelSet) prefill(cands []candidate, workers int) error {
+	return optimizer.ParallelFor(workers, len(cands), func(i int) error {
+		_, _, err := ms.predictCand(cands[i])
+		return err
+	})
 }
 
 // specState is the state Σ of one node of an exploration path: the
@@ -253,29 +286,41 @@ func (p *planner) feasibleSpeculation(cand candidate, cost float64, extras []flo
 	return true
 }
 
-// eic computes the constrained expected improvement of a candidate under the
-// given state and model predictions (paper §3). The incumbent is the cheapest
-// feasible entry of the (speculated) training set; when no entry is feasible
-// the fallback rule "most expensive profiled cost plus three times the
-// largest predictive standard deviation over untested configurations"
-// applies.
-func (p *planner) eic(state *specState, ms *modelSet, cand candidate, costPred numeric.Gaussian, extraPreds []numeric.Gaussian, extraNames []string) (float64, error) {
-	incumbent, hasFeasible := state.train.bestFeasibleCost()
-	if !hasFeasible {
-		maxStd := 0.0
-		for _, u := range state.untested {
-			pred, _, err := ms.predict(u.features)
-			if err != nil {
-				return 0, err
-			}
-			if pred.StdDev > maxStd {
-				maxStd = pred.StdDev
-			}
-		}
-		incumbent = acquisition.IncumbentFallback(state.train.maxCost(), maxStd)
+// incumbent returns the EIc incumbent of a state: the cheapest feasible entry
+// of the (speculated) training set, or, when no entry is feasible, the
+// fallback "most expensive profiled cost plus three times the largest
+// predictive standard deviation over untested configurations". It depends
+// only on (state, model generation), so callers compute it once per state and
+// share it across every candidate scored under that state.
+func (p *planner) incumbent(state *specState, ms *modelSet) (float64, error) {
+	if inc, ok := state.train.bestFeasibleCost(); ok {
+		return inc, nil
 	}
+	maxStd := 0.0
+	for _, u := range state.untested {
+		pred, _, err := ms.predictCand(u)
+		if err != nil {
+			return 0, err
+		}
+		if pred.StdDev > maxStd {
+			maxStd = pred.StdDev
+		}
+	}
+	return acquisition.IncumbentFallback(state.train.maxCost(), maxStd), nil
+}
 
+// eic computes the constrained expected improvement of a candidate under the
+// given incumbent and model predictions (paper §3). The incumbent comes from
+// incumbent(), computed once per speculation state.
+func (p *planner) eic(incumbent float64, cand candidate, costPred numeric.Gaussian, extraPreds []numeric.Gaussian, extraNames []string) (float64, error) {
 	ei := acquisition.ExpectedImprovement(costPred, incumbent)
+	if ei == 0 {
+		// The constraint probabilities only scale the expected improvement
+		// down, so a zero EI needs no erfc evaluations. This is the common
+		// case deep in speculation, where the ensemble's trees agree on
+		// configurations predicted clearly above the incumbent.
+		return 0, nil
+	}
 	probs := make([]float64, 0, 1+len(extraPreds))
 	runtimeProb, err := acquisition.ConstraintProbability(costPred, p.opts.MaxRuntimeSeconds, cand.unitPriceHour/3600)
 	if err != nil {
@@ -306,7 +351,7 @@ func (p *planner) eligible(untested []candidate, ms *modelSet, budget float64) (
 	costPreds := make([]numeric.Gaussian, 0, len(untested))
 	extraPreds := make([][]numeric.Gaussian, 0, len(untested))
 	for _, u := range untested {
-		costPred, extras, err := ms.predict(u.features)
+		costPred, extras, err := ms.predictCand(u)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -321,8 +366,9 @@ func (p *planner) eligible(untested []candidate, ms *modelSet, budget float64) (
 
 // nextStep selects the configuration explored at depth ≥ 2 of a path: the
 // eligible untested configuration with the highest EIc under the speculated
-// state (Algorithm 2, NextStep).
-func (p *planner) nextStep(state *specState, ms *modelSet, extraNames []string) (candidate, bool, error) {
+// state (Algorithm 2, NextStep). inc is the state's incumbent, computed once
+// by the caller and shared with the recursive path evaluation.
+func (p *planner) nextStep(state *specState, ms *modelSet, inc float64, extraNames []string) (candidate, bool, error) {
 	eligible, costPreds, extraPreds, err := p.eligible(state.untested, ms, state.budget)
 	if err != nil {
 		return candidate{}, false, err
@@ -333,7 +379,7 @@ func (p *planner) nextStep(state *specState, ms *modelSet, extraNames []string) 
 	best := candidate{}
 	bestEIc := -1.0
 	for i, cand := range eligible {
-		score, err := p.eic(state, ms, cand, costPreds[i], extraPreds[i], extraNames)
+		score, err := p.eic(inc, cand, costPreds[i], extraPreds[i], extraNames)
 		if err != nil {
 			return candidate{}, false, err
 		}
@@ -349,20 +395,22 @@ func (p *planner) nextStep(state *specState, ms *modelSet, extraNames []string) 
 // expected cost of the exploration path that starts by profiling cand from
 // the given state, speculating on the remaining lookahead steps.
 //
-// models must be trained on state.train; scratch is an independent model set
-// that explorePaths may refit freely for deeper speculation levels (it is the
-// per-candidate workspace that keeps path evaluations independent across
-// goroutines).
-func (p *planner) explorePaths(state *specState, models *modelSet, cand candidate, lookahead int, scratch *modelSet, extraNames []string) (reward, cost float64, err error) {
-	costPred, extraPreds, err := models.predict(cand.features)
+// models must be trained on state.train and inc must be the incumbent of
+// (state, models); scratch is an independent model set that explorePaths may
+// refit freely for deeper speculation levels (it is the per-candidate
+// workspace that keeps path evaluations independent across goroutines, with
+// its random stream split deterministically from the candidate ID).
+func (p *planner) explorePaths(state *specState, models *modelSet, inc float64, cand candidate, lookahead int, scratch *modelSet, extraNames []string) (reward, cost float64, err error) {
+	costPred, extraPreds, err := models.predictCand(cand)
 	if err != nil {
 		return 0, 0, err
 	}
-	reward, err = p.eic(state, models, cand, costPred, extraPreds, extraNames)
+	reward, err = p.eic(inc, cand, costPred, extraPreds, extraNames)
 	if err != nil {
 		return 0, 0, err
 	}
-	cost = costPred.Mean + p.setupCost(state.deployedID, cand)
+	setup := p.setupCost(state.deployedID, cand)
+	cost = costPred.Mean + setup
 
 	if lookahead == 0 {
 		return reward, cost, nil
@@ -370,43 +418,72 @@ func (p *planner) explorePaths(state *specState, models *modelSet, cand candidat
 
 	// Discretize the speculated outcomes: the cost and every constraint
 	// metric each contribute a Gauss-Hermite marginal; the joint outcomes are
-	// their Cartesian product (paper §4.4 for the multi-constraint case).
-	dims := make([][]numeric.WeightedValue, 0, 1+len(extraPreds))
+	// their Cartesian product (paper §4.4 for the multi-constraint case). In
+	// the common single-constraint case (no extras) the cost marginal is the
+	// joint distribution, so the product machinery is skipped.
 	costOutcomes, err := numeric.DiscretizeGaussian(costPred, p.params.GHOrder)
 	if err != nil {
 		return 0, 0, err
 	}
-	dims = append(dims, costOutcomes)
-	for _, pred := range extraPreds {
-		outcomes, err := numeric.DiscretizeGaussian(pred, p.params.GHOrder)
+	var combos []numeric.WeightedVector
+	if len(extraPreds) == 0 {
+		combos = make([]numeric.WeightedVector, len(costOutcomes))
+		values := make([]float64, len(costOutcomes))
+		for i, o := range costOutcomes {
+			values[i] = o.Value
+			combos[i] = numeric.WeightedVector{Values: values[i : i+1 : i+1], Weight: o.Weight}
+		}
+	} else {
+		dims := make([][]numeric.WeightedValue, 0, 1+len(extraPreds))
+		dims = append(dims, costOutcomes)
+		for _, pred := range extraPreds {
+			outcomes, err := numeric.DiscretizeGaussian(pred, p.params.GHOrder)
+			if err != nil {
+				return 0, 0, err
+			}
+			dims = append(dims, outcomes)
+		}
+		combos, err = numeric.CartesianWeighted(dims)
 		if err != nil {
 			return 0, 0, err
 		}
-		dims = append(dims, outcomes)
-	}
-	combos, err := numeric.CartesianWeighted(dims)
-	if err != nil {
-		return 0, 0, err
 	}
 
+	// The speculated child states differ only in the outcome of the last
+	// (speculated) training entry, so one extended training set and one
+	// reduced untested slice are built per candidate and the entry is
+	// rewritten per combo. Deeper recursion copies the training set before
+	// extending it, so the mutation never escapes this loop.
+	childTrain := state.train.withEntry(cand.features, 0, make([]float64, len(extraPreds)), false)
+	childUntested := without(state.untested, cand.id)
+	if len(childUntested) == 0 {
+		return reward, cost, nil
+	}
+	last := len(childTrain.costs) - 1
 	for _, combo := range combos {
 		specCost := combo.Values[0]
 		specExtras := combo.Values[1:]
 		feasible := p.feasibleSpeculation(cand, specCost, specExtras, extraNames)
 
-		childState := &specState{
-			train:      state.train.withEntry(cand.features, specCost, specExtras, feasible),
-			untested:   without(state.untested, cand.id),
-			budget:     state.budget - specCost - p.setupCost(state.deployedID, cand),
-			deployedID: cand.id,
+		childTrain.costs[last] = specCost
+		childTrain.feasible[last] = feasible
+		for k := range childTrain.extras {
+			childTrain.extras[k][last] = specExtras[k]
 		}
-		if len(childState.untested) == 0 {
-			continue
+		childState := &specState{
+			train:      childTrain,
+			untested:   childUntested,
+			budget:     state.budget - specCost - setup,
+			deployedID: cand.id,
 		}
 		if err := scratch.fit(childState.train); err != nil {
 			return 0, 0, err
 		}
-		next, ok, err := p.nextStep(childState, scratch, extraNames)
+		childInc, err := p.incumbent(childState, scratch)
+		if err != nil {
+			return 0, 0, err
+		}
+		next, ok, err := p.nextStep(childState, scratch, childInc, extraNames)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -415,7 +492,7 @@ func (p *planner) explorePaths(state *specState, models *modelSet, cand candidat
 			// path terminates here (Algorithm 2, lines 15-16).
 			continue
 		}
-		subReward, subCost, err := p.explorePaths(childState, scratch, next, lookahead-1, scratch, extraNames)
+		subReward, subCost, err := p.explorePaths(childState, scratch, childInc, next, lookahead-1, scratch, extraNames)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -425,9 +502,35 @@ func (p *planner) explorePaths(state *specState, models *modelSet, cand candidat
 	return reward, cost, nil
 }
 
+// Pruning constants (see prunedScores).
+const (
+	// pruneOptimism inflates the optimistic future-reward bound to keep the
+	// pruning rule conservative: the speculated EIc of a future step may
+	// exceed the largest root-model EIc when the speculated outcome lowers
+	// the incumbent or inflates the predictive spread.
+	pruneOptimism = 1.25
+	// pruneMinSeeds is the minimum number of top-ranked candidates whose
+	// paths are always evaluated exactly; below 2x this count pruning is not
+	// worth the bookkeeping.
+	pruneMinSeeds = 8
+	// pruneSeedDivisor sizes the exactly-evaluated seed set relative to the
+	// eligible-candidate count.
+	pruneSeedDivisor = 8
+	// pruneChunkSize is the number of ranked candidates evaluated between
+	// threshold updates; fixed chunk boundaries keep the pruning decision
+	// independent of the worker count.
+	pruneChunkSize = 16
+)
+
 // nextConfig implements Algorithm 1's NextConfig: it scores the exploration
 // paths rooted at every eligible untested configuration and returns the
 // configuration starting the path with the best reward-to-cost ratio.
+//
+// The paths are scored concurrently on a worker pool (Params.Workers wide);
+// the root model set is fitted once, its predictions for every untested
+// configuration are precomputed in parallel, and each path evaluation owns a
+// scratch model set on a random stream derived from the candidate ID — so
+// the selected configuration is identical for every worker count.
 func (p *planner) nextConfig(h *optimizer.History, remainingBudget float64) (configspace.Config, bool, error) {
 	extraNames := p.constraintNames()
 	train := newTrainSetFromHistory(h, p.opts, extraNames)
@@ -450,6 +553,13 @@ func (p *planner) nextConfig(h *optimizer.History, remainingBudget float64) (con
 	if err := rootModels.fit(train); err != nil {
 		return configspace.Config{}, false, err
 	}
+	// Populate the root prediction memo up front: every later root-model
+	// prediction (eligibility, incumbent fallback, per-path root EIc) becomes
+	// a read-only lookup, which keeps the shared root model set race-free
+	// during the parallel fan-out.
+	if err := rootModels.prefill(untested, p.params.Workers); err != nil {
+		return configspace.Config{}, false, err
+	}
 
 	rootState := &specState{
 		train:      train,
@@ -458,24 +568,43 @@ func (p *planner) nextConfig(h *optimizer.History, remainingBudget float64) (con
 		deployedID: deployedID(h),
 	}
 
-	eligible, _, _, err := p.eligible(untested, rootModels, remainingBudget)
+	eligible, costPreds, extraPreds, err := p.eligible(untested, rootModels, remainingBudget)
 	if err != nil {
 		return configspace.Config{}, false, err
 	}
 	if len(eligible) == 0 {
 		return configspace.Config{}, false, nil
 	}
+	rootInc, err := p.incumbent(rootState, rootModels)
+	if err != nil {
+		return configspace.Config{}, false, err
+	}
+	rootEIc := make([]float64, len(eligible))
+	for i, cand := range eligible {
+		if rootEIc[i], err = p.eic(rootInc, cand, costPreds[i], extraPreds[i], extraNames); err != nil {
+			return configspace.Config{}, false, err
+		}
+	}
 
+	deepSearch := p.params.Lookahead >= 2 && !p.params.DisablePruning
 	iteration := p.iteration
-	scores, err := evaluateCandidatesParallel(p.params.Workers, len(eligible), func(i int) (pathScore, error) {
-		cand := eligible[i]
+	evalPath := func(cand candidate) (pathScore, error) {
 		scratch := p.newModelSet(int64(iteration)*4_000_000_007 + int64(cand.id))
-		reward, cost, err := p.explorePaths(rootState, rootModels, cand, p.params.Lookahead, scratch, extraNames)
+		reward, cost, err := p.explorePaths(rootState, rootModels, rootInc, cand, p.params.Lookahead, scratch, extraNames)
 		if err != nil {
 			return pathScore{}, err
 		}
 		return pathScore{candidateID: cand.id, reward: reward, cost: cost}, nil
-	})
+	}
+
+	var scores []pathScore
+	if deepSearch && len(eligible) > 2*pruneMinSeeds {
+		scores, err = p.prunedScores(eligible, costPreds, rootEIc, rootState, evalPath)
+	} else {
+		scores, err = evaluateCandidatesParallel(p.params.Workers, len(eligible), func(i int) (pathScore, error) {
+			return evalPath(eligible[i])
+		})
+	}
 	if err != nil {
 		return configspace.Config{}, false, err
 	}
@@ -485,6 +614,136 @@ func (p *planner) nextConfig(h *optimizer.History, remainingBudget float64) (con
 		return configspace.Config{}, false, nil
 	}
 	return p.configs[bestID].Clone(), true, nil
+}
+
+// prunedScores evaluates the exploration paths of the eligible candidates
+// with optimistic-bound pruning, cutting the branching factor of the
+// lookahead ≥ 2 search:
+//
+//  1. Every candidate gets an optimistic ratio bound from root-model
+//     quantities alone: its own root EIc plus a discounted, optimism-inflated
+//     multiple of the best root EIc (future steps cannot plausibly beat the
+//     best currently known reward by more), divided by its root expected cost
+//     (a lower bound on the true path cost, since speculated future costs are
+//     non-negative).
+//  2. The top seeds by that bound are evaluated exactly on the worker pool.
+//  3. Remaining candidates whose bound cannot beat the best exact seed ratio
+//     are dropped without simulating their paths; the survivors are evaluated
+//     exactly.
+//
+// The seed set and the pruning threshold depend only on deterministic
+// root-model quantities, never on worker scheduling, so the decision is
+// identical for every Params.Workers value.
+func (p *planner) prunedScores(eligible []candidate, costPreds []numeric.Gaussian, rootEIc []float64, rootState *specState, evalPath func(candidate) (pathScore, error)) ([]pathScore, error) {
+	const eps = 1e-12
+
+	maxEIc := 0.0
+	for _, score := range rootEIc {
+		if score > maxEIc {
+			maxEIc = score
+		}
+	}
+
+	// Discounted horizon weight: sum of discount^d for d = 1..Lookahead.
+	horizon := 0.0
+	pow := 1.0
+	for d := 0; d < p.params.Lookahead; d++ {
+		pow *= p.params.Discount
+		horizon += pow
+	}
+
+	costLBs := make([]float64, len(eligible))
+	bounds := make([]float64, len(eligible))
+	for i, cand := range eligible {
+		costLB := costPreds[i].Mean + p.setupCost(rootState.deployedID, cand)
+		if costLB < eps {
+			costLB = eps
+		}
+		costLBs[i] = costLB
+		bounds[i] = (rootEIc[i] + horizon*maxEIc) / costLB
+	}
+
+	order := make([]int, len(eligible))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if bounds[order[a]] != bounds[order[b]] {
+			return bounds[order[a]] > bounds[order[b]]
+		}
+		return eligible[order[a]].id < eligible[order[b]].id
+	})
+
+	seedCount := len(eligible) / pruneSeedDivisor
+	if seedCount < pruneMinSeeds {
+		seedCount = pruneMinSeeds
+	}
+
+	seeds := order[:seedCount]
+	scores, err := evaluateCandidatesParallel(p.params.Workers, len(seeds), func(i int) (pathScore, error) {
+		return evalPath(eligible[seeds[i]])
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Calibrate the pruning threshold from the exactly evaluated paths: the
+	// discounted future reward of a path varies far less across root
+	// candidates than the root EIc does, so the largest future reward
+	// observed so far, inflated by the safety factor, bounds the rest. The
+	// discounted-horizon multiple of the best root EIc floors the term, so a
+	// degenerate seed sample (every seed's speculation adding nothing) can
+	// never tighten the bound below the static ranking optimism.
+	bestRatio := 0.0
+	maxFuture := 0.0
+	absorb := func(batch []pathScore, origin []int) {
+		for si, s := range batch {
+			den := s.cost
+			if den < eps {
+				den = eps
+			}
+			if r := s.reward / den; r > bestRatio {
+				bestRatio = r
+			}
+			if future := s.reward - rootEIc[origin[si]]; future > maxFuture {
+				maxFuture = future
+			}
+		}
+	}
+	absorb(scores, seeds)
+
+	// Process the remaining candidates in fixed-size chunks, re-pruning
+	// before each chunk with the threshold tightened by everything evaluated
+	// so far. Chunk boundaries depend only on candidate order, never on
+	// worker scheduling.
+	rest := order[seedCount:]
+	for start := 0; start < len(rest); start += pruneChunkSize {
+		end := start + pruneChunkSize
+		if end > len(rest) {
+			end = len(rest)
+		}
+		future := pruneOptimism * maxFuture
+		if floor := horizon * maxEIc; future < floor {
+			future = floor
+		}
+		chunk := make([]int, 0, end-start)
+		for _, i := range rest[start:end] {
+			if (rootEIc[i]+future)/costLBs[i] >= bestRatio {
+				chunk = append(chunk, i)
+			}
+		}
+		if len(chunk) == 0 {
+			continue
+		}
+		batch, err := evaluateCandidatesParallel(p.params.Workers, len(chunk), func(i int) (pathScore, error) {
+			return evalPath(eligible[chunk[i]])
+		})
+		if err != nil {
+			return nil, err
+		}
+		absorb(batch, chunk)
+		scores = append(scores, batch...)
+	}
+	return scores, nil
 }
 
 // deployedID returns the ID of the configuration currently deployed according

@@ -158,7 +158,11 @@ func TestNextStepPrefersHighEIc(t *testing.T) {
 		}
 	}
 	state := &specState{train: train, untested: untested, budget: 1e9, deployedID: -1}
-	next, ok, err := p.nextStep(state, ms, extraNames)
+	inc, err := p.incumbent(state, ms)
+	if err != nil {
+		t.Fatalf("incumbent error: %v", err)
+	}
+	next, ok, err := p.nextStep(state, ms, inc, extraNames)
 	if err != nil {
 		t.Fatalf("nextStep error: %v", err)
 	}
@@ -173,7 +177,7 @@ func TestNextStepPrefersHighEIc(t *testing.T) {
 		if err != nil {
 			t.Fatalf("predict error: %v", err)
 		}
-		score, err := p.eic(state, ms, cand, costPred, extraPreds, extraNames)
+		score, err := p.eic(inc, cand, costPred, extraPreds, extraNames)
 		if err != nil {
 			t.Fatalf("eic error: %v", err)
 		}
@@ -188,7 +192,7 @@ func TestNextStepPrefersHighEIc(t *testing.T) {
 
 	// With a zero budget there is no next step.
 	empty := &specState{train: train, untested: untested, budget: 0, deployedID: -1}
-	if _, ok, err := p.nextStep(empty, ms, extraNames); err != nil || ok {
+	if _, ok, err := p.nextStep(empty, ms, inc, extraNames); err != nil || ok {
 		t.Errorf("nextStep with zero budget = %v, %v, want not-ok", ok, err)
 	}
 }
@@ -212,7 +216,11 @@ func TestEICUsesFallbackIncumbentWhenNothingFeasible(t *testing.T) {
 	if err != nil {
 		t.Fatalf("predict error: %v", err)
 	}
-	score, err := p.eic(state, ms, cand, costPred, extraPreds, nil)
+	inc, err := p.incumbent(state, ms)
+	if err != nil {
+		t.Fatalf("incumbent error: %v", err)
+	}
+	score, err := p.eic(inc, cand, costPred, extraPreds, nil)
 	if err != nil {
 		t.Fatalf("eic error: %v", err)
 	}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/numeric"
 )
@@ -258,7 +259,6 @@ func medianDistance(inputs [][]float64) float64 {
 			distances = append(distances, math.Sqrt(d))
 		}
 	}
-	// Insertion of a simple selection: sort would pull in sort; use it.
 	return median(distances)
 }
 
@@ -267,12 +267,9 @@ func median(xs []float64) float64 {
 		return 0
 	}
 	sorted := append([]float64(nil), xs...)
-	// Simple insertion sort; the slices here are small (bootstrap-sized).
-	for i := 1; i < len(sorted); i++ {
-		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
-			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
-		}
-	}
+	// The distance count grows quadratically with the training-set size, so
+	// an O(n log n) sort matters once speculated training sets get large.
+	sort.Float64s(sorted)
 	mid := len(sorted) / 2
 	if len(sorted)%2 == 1 {
 		return sorted[mid]

@@ -97,3 +97,77 @@ func NewFactory(kind Kind, baggingParams bagging.Params, gpParams gp.Params, see
 
 // ErrNilFactory is returned by helpers that require a factory.
 var ErrNilFactory = errors.New("model: nil factory")
+
+// cachedPred is one memoized predictive distribution. The generation tag
+// records which fit of the model produced it; entries from older generations
+// are treated as absent.
+type cachedPred struct {
+	gen  int
+	pred numeric.Gaussian
+}
+
+// Cached wraps a Regressor with a prediction memo keyed by (model
+// generation, configuration ID). Lynceus' path simulation predicts the same
+// finite set of configurations many times between refits — once per
+// speculation layer is enough, so the memo turns every repeat into an O(1)
+// lookup. Fitting bumps the generation, which invalidates the whole memo
+// without clearing it.
+//
+// Concurrency: Fit and cold PredictID calls mutate the memo and must not run
+// concurrently. Once an ID has been predicted for the current generation
+// (e.g. by a Prefill-style sweep), concurrent PredictID calls for it are
+// read-only and safe.
+type Cached struct {
+	inner Regressor
+	gen   int
+	memo  []cachedPred
+}
+
+// NewCached wraps inner with a memo for configuration IDs in [0, size).
+func NewCached(inner Regressor, size int) *Cached {
+	return &Cached{inner: inner, memo: make([]cachedPred, size)}
+}
+
+// Generation returns the number of completed fits; predictions memoized under
+// older generations are stale.
+func (c *Cached) Generation() int { return c.gen }
+
+// Fit trains the wrapped model and invalidates the memo.
+func (c *Cached) Fit(features [][]float64, targets []float64) error {
+	if err := c.inner.Fit(features, targets); err != nil {
+		return err
+	}
+	c.gen++
+	return nil
+}
+
+// Predict forwards to the wrapped model without touching the memo; use it for
+// feature vectors that do not correspond to a configuration ID.
+func (c *Cached) Predict(x []float64) (numeric.Gaussian, error) {
+	return c.inner.Predict(x)
+}
+
+// PredictID returns the predictive distribution of the configuration with the
+// given ID and feature vector, computing it at most once per generation.
+func (c *Cached) PredictID(id int, x []float64) (numeric.Gaussian, error) {
+	if id >= 0 && id < len(c.memo) {
+		if e := c.memo[id]; e.gen == c.gen+memoGenOffset {
+			return e.pred, nil
+		}
+	}
+	pred, err := c.inner.Predict(x)
+	if err != nil {
+		return numeric.Gaussian{}, err
+	}
+	if id >= 0 && id < len(c.memo) {
+		c.memo[id] = cachedPred{gen: c.gen + memoGenOffset, pred: pred}
+	}
+	return pred, nil
+}
+
+// memoGenOffset keeps the zero value of cachedPred.gen distinct from the
+// generation of an untrained model, so a fresh memo never reports a hit.
+const memoGenOffset = 1
+
+// Statically assert that Cached remains a Regressor.
+var _ Regressor = (*Cached)(nil)

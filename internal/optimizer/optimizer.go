@@ -75,7 +75,10 @@ type Constraint struct {
 
 // SetupCostFunc estimates the extra monetary cost of switching the deployment
 // from configuration `from` to configuration `to` (paper §4.4, setup costs).
-// `from` is nil for the first deployment.
+// `from` is nil for the first deployment. Lynceus charges speculated setup
+// costs from concurrent exploration-path evaluations, so implementations must
+// be safe for concurrent use (pure functions are; closures mutating shared
+// state need synchronization).
 type SetupCostFunc func(from *configspace.Config, to configspace.Config) float64
 
 // Options configures an optimization run.

@@ -6,10 +6,12 @@
 package regtree
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 )
 
@@ -57,12 +59,24 @@ type node struct {
 	value     float64
 }
 
-// Tree is a trained regression tree.
+// Tree is a trained regression tree. After training the nodes are flattened
+// into one contiguous slice, so predictions walk an index chain through a
+// single allocation instead of chasing heap pointers.
 type Tree struct {
-	root        *node
+	nodes       []flatNode
 	numFeatures int
 	leaves      int
 	depth       int
+}
+
+// flatNode is one node of the flattened tree; left < 0 marks a leaf carrying
+// value, internal nodes carry the split and the indices of their children.
+type flatNode struct {
+	threshold float64
+	value     float64
+	feature   int32
+	left      int32
+	right     int32
 }
 
 // Train fits a regression tree to the given feature matrix and targets. Every
@@ -100,29 +114,118 @@ func Train(features [][]float64, targets []float64, params Params, rng *rand.Ran
 		indices[i] = i
 	}
 	t := &Tree{numFeatures: numFeatures}
-	t.root = t.grow(features, targets, indices, params, rng, 1)
+	scratch := newSplitScratch(len(features), numFeatures)
+	// Transpose the features once: the split scans read one feature across
+	// many samples, so a column-major layout turns every read into a
+	// contiguous-slice access instead of a row-pointer chase.
+	for f := 0; f < numFeatures; f++ {
+		col := scratch.cols[f]
+		for i, row := range features {
+			col[i] = row[f]
+		}
+	}
+	root := t.grow(scratch.cols, targets, indices, params, rng, 1, scratch)
+	t.nodes = make([]flatNode, 0, 2*t.leaves-1)
+	t.flatten(root)
 	return t, nil
 }
 
+// flatten appends the subtree rooted at n to the node slice in preorder and
+// returns its index.
+func (t *Tree) flatten(n *node) int32 {
+	idx := int32(len(t.nodes))
+	if n.leaf {
+		t.nodes = append(t.nodes, flatNode{value: n.value, left: -1})
+		return idx
+	}
+	t.nodes = append(t.nodes, flatNode{feature: int32(n.feature), threshold: n.threshold})
+	left := t.flatten(n.left)
+	right := t.flatten(n.right)
+	t.nodes[idx].left = left
+	t.nodes[idx].right = right
+	return idx
+}
+
+// featTarget pairs one sample's value along the split feature with its
+// target, so bestSplit sorts a flat contiguous slice instead of chasing an
+// index indirection through a reflection-based comparator.
+type featTarget struct {
+	v, y float64
+}
+
+// valueAgg aggregates the targets of every sample sharing one value of the
+// split feature: configuration dimensions are discrete with few distinct
+// values, so grouping replaces an O(n log n) sort with an O(n·k) scan.
+type valueAgg struct {
+	v     float64
+	sum   float64
+	sq    float64
+	count int
+}
+
+// maxDistinctForBuckets bounds the distinct-value groups tracked by the
+// bucketed split scan; features with higher cardinality (e.g. continuous
+// ones) fall back to the sort-based scan.
+const maxDistinctForBuckets = 32
+
+// splitScratch holds the buffers bestSplit reuses across every node and
+// feature of one Train call, avoiding per-node allocations in the planner's
+// hottest loop (the speculative refits of the bagging ensemble).
+type splitScratch struct {
+	pairs     []featTarget
+	prefixSum []float64
+	prefixSq  []float64
+	features  []int
+	vals      []valueAgg
+	cols      [][]float64
+}
+
+func newSplitScratch(samples, numFeatures int) *splitScratch {
+	flat := make([]float64, samples*numFeatures)
+	cols := make([][]float64, numFeatures)
+	for f := range cols {
+		cols[f] = flat[f*samples : (f+1)*samples]
+	}
+	return &splitScratch{
+		pairs:     make([]featTarget, samples),
+		prefixSum: make([]float64, samples+1),
+		prefixSq:  make([]float64, samples+1),
+		features:  make([]int, numFeatures),
+		vals:      make([]valueAgg, 0, maxDistinctForBuckets),
+		cols:      cols,
+	}
+}
+
 // grow recursively builds the tree over the samples referenced by indices.
-func (t *Tree) grow(features [][]float64, targets []float64, indices []int, params Params, rng *rand.Rand, depth int) *node {
+func (t *Tree) grow(cols [][]float64, targets []float64, indices []int, params Params, rng *rand.Rand, depth int, scratch *splitScratch) *node {
 	if depth > t.depth {
 		t.depth = depth
 	}
-	mean := meanOf(targets, indices)
+	// One pass computes the leaf mean and the constant-target check.
+	first := targets[indices[0]]
+	sum := 0.0
+	constant := true
+	for _, idx := range indices {
+		y := targets[idx]
+		sum += y
+		if y != first {
+			constant = false
+		}
+	}
+	mean := sum / float64(len(indices))
 
 	mustLeaf := len(indices) < params.MinSamplesSplit ||
 		(params.MaxDepth > 0 && depth > params.MaxDepth) ||
-		isConstant(targets, indices)
+		constant
 	if !mustLeaf {
-		if feature, threshold, ok := t.bestSplit(features, targets, indices, params, rng); ok {
-			left, right := partition(features, indices, feature, threshold)
+		if feature, threshold, ok := t.bestSplit(cols, targets, indices, params, rng, scratch); ok {
+			left, right := partition(cols[feature], indices, threshold)
 			if len(left) >= params.MinLeafSize && len(right) >= params.MinLeafSize {
 				return &node{
 					feature:   feature,
 					threshold: threshold,
-					left:      t.grow(features, targets, left, params, rng, depth+1),
-					right:     t.grow(features, targets, right, params, rng, depth+1),
+					left:      t.grow(cols, targets, left, params, rng, depth+1, scratch),
+					right:     t.grow(cols, targets, right, params, rng, depth+1, scratch),
 				}
 			}
 		}
@@ -134,43 +237,26 @@ func (t *Tree) grow(features [][]float64, targets []float64, indices []int, para
 // bestSplit finds the axis-aligned split that minimizes the total sum of
 // squared errors of the two children. It returns ok=false when no valid split
 // exists (e.g. all candidate features are constant).
-func (t *Tree) bestSplit(features [][]float64, targets []float64, indices []int, params Params, rng *rand.Rand) (int, float64, bool) {
-	candidates := t.candidateFeatures(params, rng)
+//
+// The chosen split only depends on the set of (value, target) pairs on each
+// side of a threshold — thresholds sit between distinct feature values, so
+// the order of ties within the sort never changes the outcome.
+func (t *Tree) bestSplit(cols [][]float64, targets []float64, indices []int, params Params, rng *rand.Rand, scratch *splitScratch) (int, float64, bool) {
+	candidates := t.candidateFeatures(params, rng, scratch)
 
 	bestSSE := math.Inf(1)
 	bestFeature := -1
 	bestThreshold := 0.0
 
-	sorted := make([]int, len(indices))
 	for _, f := range candidates {
-		copy(sorted, indices)
-		sort.Slice(sorted, func(i, j int) bool { return features[sorted[i]][f] < features[sorted[j]][f] })
-
-		// Prefix sums of targets over the sorted order enable O(1) SSE
-		// evaluation per split position.
-		n := len(sorted)
-		prefixSum := make([]float64, n+1)
-		prefixSq := make([]float64, n+1)
-		for i, idx := range sorted {
-			y := targets[idx]
-			prefixSum[i+1] = prefixSum[i] + y
-			prefixSq[i+1] = prefixSq[i] + y*y
+		threshold, total, ok, handled := bucketedSplit(cols[f], targets, indices, params, scratch)
+		if !handled {
+			threshold, total, ok = sortedSplit(cols[f], targets, indices, params, scratch)
 		}
-
-		for i := params.MinLeafSize; i <= n-params.MinLeafSize; i++ {
-			lo := features[sorted[i-1]][f]
-			hi := features[sorted[i]][f]
-			if lo == hi {
-				continue
-			}
-			leftSSE := sse(prefixSum[i], prefixSq[i], float64(i))
-			rightSSE := sse(prefixSum[n]-prefixSum[i], prefixSq[n]-prefixSq[i], float64(n-i))
-			total := leftSSE + rightSSE
-			if total < bestSSE {
-				bestSSE = total
-				bestFeature = f
-				bestThreshold = (lo + hi) / 2
-			}
+		if ok && total < bestSSE {
+			bestSSE = total
+			bestFeature = f
+			bestThreshold = threshold
 		}
 	}
 	if bestFeature < 0 {
@@ -179,10 +265,106 @@ func (t *Tree) bestSplit(features [][]float64, targets []float64, indices []int,
 	return bestFeature, bestThreshold, true
 }
 
+// bucketedSplit scans one feature by grouping the samples per distinct value
+// (configuration dimensions are small discrete sets), which evaluates the
+// same candidate thresholds as the sort-based scan without sorting the
+// samples. handled=false means the feature has more than
+// maxDistinctForBuckets distinct values and the caller must use the
+// sort-based scan; ok=false (with handled=true) means no threshold satisfies
+// the leaf-size constraint.
+func bucketedSplit(col []float64, targets []float64, indices []int, params Params, scratch *splitScratch) (threshold, bestSSE float64, ok, handled bool) {
+	vals := scratch.vals[:0]
+	for _, idx := range indices {
+		v := col[idx]
+		y := targets[idx]
+		found := false
+		for vi := range vals {
+			if vals[vi].v == v {
+				vals[vi].sum += y
+				vals[vi].sq += y * y
+				vals[vi].count++
+				found = true
+				break
+			}
+		}
+		if !found {
+			if len(vals) == maxDistinctForBuckets {
+				return 0, 0, false, false
+			}
+			vals = append(vals, valueAgg{v: v, sum: y, sq: y * y, count: 1})
+		}
+	}
+	slices.SortFunc(vals, func(a, b valueAgg) int { return cmp.Compare(a.v, b.v) })
+
+	n := len(indices)
+	totalSum, totalSq := 0.0, 0.0
+	for _, a := range vals {
+		totalSum += a.sum
+		totalSq += a.sq
+	}
+
+	bestSSE = math.Inf(1)
+	leftSum, leftSq := 0.0, 0.0
+	leftCount := 0
+	for j := 0; j < len(vals)-1; j++ {
+		leftSum += vals[j].sum
+		leftSq += vals[j].sq
+		leftCount += vals[j].count
+		if leftCount < params.MinLeafSize || n-leftCount < params.MinLeafSize {
+			continue
+		}
+		total := sse(leftSum, leftSq, float64(leftCount)) +
+			sse(totalSum-leftSum, totalSq-leftSq, float64(n-leftCount))
+		if total < bestSSE {
+			bestSSE = total
+			threshold = (vals[j].v + vals[j+1].v) / 2
+			ok = true
+		}
+	}
+	return threshold, bestSSE, ok, true
+}
+
+// sortedSplit is the sort-based scan used for high-cardinality features: it
+// sorts (value, target) pairs and sweeps prefix sums over the sorted order
+// for O(1) SSE evaluation per split position.
+func sortedSplit(col []float64, targets []float64, indices []int, params Params, scratch *splitScratch) (threshold, bestSSE float64, ok bool) {
+	n := len(indices)
+	pairs := scratch.pairs[:n]
+	prefixSum := scratch.prefixSum[:n+1]
+	prefixSq := scratch.prefixSq[:n+1]
+	for i, idx := range indices {
+		pairs[i] = featTarget{v: col[idx], y: targets[idx]}
+	}
+	slices.SortFunc(pairs, func(a, b featTarget) int { return cmp.Compare(a.v, b.v) })
+
+	for i, p := range pairs {
+		prefixSum[i+1] = prefixSum[i] + p.y
+		prefixSq[i+1] = prefixSq[i] + p.y*p.y
+	}
+
+	bestSSE = math.Inf(1)
+	for i := params.MinLeafSize; i <= n-params.MinLeafSize; i++ {
+		lo := pairs[i-1].v
+		hi := pairs[i].v
+		if lo == hi {
+			continue
+		}
+		total := sse(prefixSum[i], prefixSq[i], float64(i)) +
+			sse(prefixSum[n]-prefixSum[i], prefixSq[n]-prefixSq[i], float64(n-i))
+		if total < bestSSE {
+			bestSSE = total
+			threshold = (lo + hi) / 2
+			ok = true
+		}
+	}
+	return threshold, bestSSE, ok
+}
+
 // candidateFeatures returns the features examined at a split, applying the
-// random-subspace fraction when configured.
-func (t *Tree) candidateFeatures(params Params, rng *rand.Rand) []int {
-	all := make([]int, t.numFeatures)
+// random-subspace fraction when configured. The returned slice aliases
+// scratch and is only valid until the next call.
+func (t *Tree) candidateFeatures(params Params, rng *rand.Rand, scratch *splitScratch) []int {
+	all := scratch.features[:t.numFeatures]
 	for i := range all {
 		all[i] = i
 	}
@@ -215,56 +397,41 @@ func sse(sum, sumSq, count float64) float64 {
 	return v
 }
 
-func partition(features [][]float64, indices []int, feature int, threshold float64) (left, right []int) {
-	left = make([]int, 0, len(indices))
-	right = make([]int, 0, len(indices))
-	for _, idx := range indices {
-		if features[idx][feature] <= threshold {
-			left = append(left, idx)
+// partition reorders indices in place so the samples at or below the
+// threshold come first, and returns the two halves as subslices. The order
+// within each half is irrelevant: every consumer (leaf means, constant
+// checks, the distinct-value split scans) depends only on the sample sets.
+func partition(col []float64, indices []int, threshold float64) (left, right []int) {
+	i, j := 0, len(indices)
+	for i < j {
+		if col[indices[i]] <= threshold {
+			i++
 		} else {
-			right = append(right, idx)
+			j--
+			indices[i], indices[j] = indices[j], indices[i]
 		}
 	}
-	return left, right
-}
-
-func meanOf(targets []float64, indices []int) float64 {
-	if len(indices) == 0 {
-		return 0
-	}
-	sum := 0.0
-	for _, idx := range indices {
-		sum += targets[idx]
-	}
-	return sum / float64(len(indices))
-}
-
-func isConstant(targets []float64, indices []int) bool {
-	for _, idx := range indices[1:] {
-		if targets[idx] != targets[indices[0]] {
-			return false
-		}
-	}
-	return true
+	return indices[:i], indices[i:]
 }
 
 // Predict returns the tree's estimate for the given feature vector.
 func (t *Tree) Predict(x []float64) (float64, error) {
-	if t == nil || t.root == nil {
+	if t == nil || len(t.nodes) == 0 {
 		return 0, errors.New("regtree: predict on untrained tree")
 	}
 	if len(x) != t.numFeatures {
 		return 0, fmt.Errorf("regtree: feature vector has %d columns, want %d", len(x), t.numFeatures)
 	}
-	n := t.root
-	for !n.leaf {
-		if x[n.feature] <= n.threshold {
-			n = n.left
+	nodes := t.nodes
+	i := int32(0)
+	for nodes[i].left >= 0 {
+		if x[nodes[i].feature] <= nodes[i].threshold {
+			i = nodes[i].left
 		} else {
-			n = n.right
+			i = nodes[i].right
 		}
 	}
-	return n.value, nil
+	return nodes[i].value, nil
 }
 
 // NumFeatures returns the number of input features the tree was trained on.

@@ -1,0 +1,13 @@
+// Package simulator drives the paper's evaluation methodology (§5.2): it
+// replays one or more optimizers against a profiled job many times, each run
+// bootstrapped with a different (but across-optimizer shared) random seed,
+// and aggregates the metrics the paper reports — the cost of the recommended
+// configuration normalized to the optimum (CNO) and the number of
+// explorations performed (NEX) — together with the per-exploration
+// convergence traces used by Figure 7.
+//
+// Campaigns parallelize across runs: Config.Workers bounds how many
+// optimization runs execute concurrently, and because run i always uses seed
+// BaseSeed+i and lands at index i of the result, the campaign's outcome is
+// identical for every worker count.
+package simulator

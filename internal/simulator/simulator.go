@@ -1,10 +1,3 @@
-// Package simulator drives the paper's evaluation methodology (§5.2): it
-// replays one or more optimizers against a profiled job many times, each run
-// bootstrapped with a different (but across-optimizer shared) random seed, and
-// aggregates the metrics the paper reports — the cost of the recommended
-// configuration normalized to the optimum (CNO) and the number of
-// explorations performed (NEX) — together with per-exploration convergence
-// traces used by Figure 7.
 package simulator
 
 import (
@@ -46,7 +39,14 @@ type Config struct {
 	// extension).
 	ExtraConstraints []optimizer.Constraint
 	// SetupCost charges deployment switches against the budget when non-nil.
+	// Runs may execute concurrently (see Workers), so the function must be
+	// safe for concurrent use.
 	SetupCost optimizer.SetupCostFunc
+	// Workers bounds how many of the campaign's runs execute concurrently;
+	// 0 or 1 runs them serially. Every run derives its seed from BaseSeed +
+	// run index and the results are collected by run index, so the campaign's
+	// outcome is identical for every worker count.
+	Workers int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -169,10 +169,10 @@ func Evaluate(opt optimizer.Optimizer, cfg Config) (JobResult, error) {
 		Tmax:          tmax,
 		Budget:        budget,
 		OptimalCost:   optimum.Cost,
-		Runs:          make([]RunMetrics, 0, cfg.Runs),
 	}
 
-	for run := 0; run < cfg.Runs; run++ {
+	result.Runs = make([]RunMetrics, cfg.Runs)
+	if err := optimizer.ParallelFor(cfg.Workers, cfg.Runs, func(run int) error {
 		seed := cfg.BaseSeed + int64(run)
 		opts := optimizer.Options{
 			Budget:            budget,
@@ -184,9 +184,9 @@ func Evaluate(opt optimizer.Optimizer, cfg Config) (JobResult, error) {
 		}
 		res, err := opt.Optimize(env, opts)
 		if err != nil {
-			return JobResult{}, fmt.Errorf("simulator: run %d of %s on %s: %w", run, opt.Name(), cfg.Job.Name(), err)
+			return fmt.Errorf("simulator: run %d of %s on %s: %w", run, opt.Name(), cfg.Job.Name(), err)
 		}
-		metrics := RunMetrics{
+		result.Runs[run] = RunMetrics{
 			Seed:                 seed,
 			CNO:                  res.Recommended.Cost / optimum.Cost,
 			Feasible:             res.RecommendedFeasible,
@@ -194,7 +194,9 @@ func Evaluate(opt optimizer.Optimizer, cfg Config) (JobResult, error) {
 			SpentBudget:          res.SpentBudget,
 			BestCNOByExploration: convergenceTrace(res, opts, optimum.Cost),
 		}
-		result.Runs = append(result.Runs, metrics)
+		return nil
+	}); err != nil {
+		return JobResult{}, err
 	}
 	return result, nil
 }

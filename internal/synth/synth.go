@@ -1,16 +1,3 @@
-// Package synth generates synthetic lookup-table datasets that stand in for
-// the measured datasets of the paper's evaluation (§5.1): three
-// Tensorflow-style jobs with a 384-point, 5-dimensional configuration space,
-// eighteen Scout-style Hadoop/Spark jobs, and five CherryPick-style jobs.
-//
-// The paper evaluates optimizers by replaying previously collected
-// measurements, so any lookup table with the same structural properties
-// exercises the same code paths. The generators are calibrated to preserve
-// the properties the paper's analysis relies on: costs spanning roughly three
-// orders of magnitude with only a handful of configurations within 2× of the
-// optimum (Figure 1a), non-separability of hyper-parameter and cloud
-// dimensions (Figure 1b), and runtime constraints satisfiable by roughly half
-// of the configurations (§5.2).
 package synth
 
 import (

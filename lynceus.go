@@ -115,8 +115,13 @@ type TunerConfig struct {
 	// paper's ensemble of regression trees) or "gp" (Gaussian Process, the
 	// paper's footnote-1 alternative).
 	CostModel string
-	// Workers bounds path-evaluation parallelism (0 = GOMAXPROCS).
+	// Workers bounds path-evaluation parallelism (0 = GOMAXPROCS). The
+	// recommendation never depends on the worker count.
 	Workers int
+	// DisablePruning turns off the optimistic-bound candidate pruning of the
+	// lookahead >= 2 path search and restores the exhaustive search (for
+	// ablations; pruning is on by default and deterministic).
+	DisablePruning bool
 }
 
 // NewTuner creates a Lynceus tuner.
@@ -132,11 +137,12 @@ func NewTuner(cfg TunerConfig) (Optimizer, error) {
 		return nil, fmt.Errorf("lynceus: negative lookahead %d", cfg.Lookahead)
 	}
 	params := core.Params{
-		Lookahead: lookahead,
-		Discount:  cfg.Discount,
-		GHOrder:   cfg.GHOrder,
-		Model:     bagging.Params{NumTrees: cfg.EnsembleTrees},
-		Workers:   cfg.Workers,
+		Lookahead:      lookahead,
+		Discount:       cfg.Discount,
+		GHOrder:        cfg.GHOrder,
+		Model:          bagging.Params{NumTrees: cfg.EnsembleTrees},
+		Workers:        cfg.Workers,
+		DisablePruning: cfg.DisablePruning,
 	}
 	switch cfg.CostModel {
 	case "", string(model.KindBagging):
