@@ -25,6 +25,7 @@ import (
 	"repro/internal/bagging"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/numeric"
 	"repro/internal/optimizer"
 	"repro/internal/simulator"
 )
@@ -224,9 +225,10 @@ func BenchmarkAblationEligibility90(b *testing.B) {
 	benchmarkAblation(b, core.Params{Lookahead: 1, EligibilityProb: 0.90, Model: bagging.Params{NumTrees: 10}})
 }
 
-// BenchmarkEnsembleFitPredict measures the cost model alone: one fit plus a
-// full-space prediction sweep, the inner loop of every planning step.
-func BenchmarkEnsembleFitPredict(b *testing.B) {
+// ensembleSweepFixture builds the cost-model microbenchmark fixture: a
+// 40-sample training set spread over the 384-point Tensorflow space.
+func ensembleSweepFixture(b *testing.B) (*Space, [][]float64, []float64) {
+	b.Helper()
 	job, err := SyntheticTensorflowJob("cnn", 42)
 	if err != nil {
 		b.Fatalf("SyntheticTensorflowJob: %v", err)
@@ -246,8 +248,70 @@ func BenchmarkEnsembleFitPredict(b *testing.B) {
 		features = append(features, cfg.Features)
 		costs = append(costs, m.Cost)
 	}
+	return space, features, costs
+}
+
+// BenchmarkEnsembleFitPredict measures the cost model alone: one fit plus a
+// full-space prediction sweep, the inner loop of every planning step. The
+// sweep runs through PredictBatch over the space's cached column-major
+// feature matrix — exactly what the planner's prefill does per refit.
+func BenchmarkEnsembleFitPredict(b *testing.B) {
+	space, features, costs := ensembleSweepFixture(b)
+	ensemble := bagging.New(bagging.Params{NumTrees: 10}, 1)
+	cols := space.FeatureColumns()
+	out := make([]numeric.Gaussian, space.Size())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ensemble.Fit(features, costs); err != nil {
+			b.Fatalf("Fit: %v", err)
+		}
+		if err := ensemble.PredictBatch(cols, out); err != nil {
+			b.Fatalf("PredictBatch: %v", err)
+		}
+	}
+}
+
+// BenchmarkFullSpaceSweep isolates the prediction sweep from the fit: one
+// prediction of the whole 384-point Tensorflow space per iteration, batched
+// (the planner's production path) vs scalar (one Predict call per config).
+func BenchmarkFullSpaceSweep(b *testing.B) {
+	space, features, costs := ensembleSweepFixture(b)
+	ensemble := bagging.New(bagging.Params{NumTrees: 10}, 1)
+	if err := ensemble.Fit(features, costs); err != nil {
+		b.Fatalf("Fit: %v", err)
+	}
+	b.Run("batch", func(b *testing.B) {
+		cols := space.FeatureColumns()
+		out := make([]numeric.Gaussian, space.Size())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := ensemble.PredictBatch(cols, out); err != nil {
+				b.Fatalf("PredictBatch: %v", err)
+			}
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		all := space.Configs()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, cfg := range all {
+				if _, err := ensemble.Predict(cfg.Features); err != nil {
+					b.Fatalf("Predict: %v", err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkEnsembleFitPredictScalar is the scalar reference for
+// BenchmarkEnsembleFitPredict: the same fit plus one Predict call per
+// configuration, the pre-batching sweep.
+func BenchmarkEnsembleFitPredictScalar(b *testing.B) {
+	space, features, costs := ensembleSweepFixture(b)
 	ensemble := bagging.New(bagging.Params{NumTrees: 10}, 1)
 	all := space.Configs()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := ensemble.Fit(features, costs); err != nil {

@@ -1,0 +1,127 @@
+// Command benchjson converts `go test -bench` output read from stdin into
+// machine-readable JSON, so benchmark results can be tracked across PRs
+// (the committed BENCH.json baseline) and emitted by CI without scraping
+// free-form text.
+//
+// Usage:
+//
+//	go test -run 'XXX' -bench . -benchtime 3x . | go run ./cmd/benchjson -out BENCH.json
+//	scripts/bench.sh                             # the wrapper used by CI
+//
+// Every benchmark line becomes one record with the iteration count and a
+// metric map keyed by unit ("ns/op", "ns/decision", "B/op", "allocs/op", ...).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the full benchmark name including sub-benchmark path,
+	// e.g. "BenchmarkPlannerLA2Tensorflow/workers=1".
+	Name string `json:"name"`
+	// Pkg is the Go package the benchmark ran in.
+	Pkg string `json:"pkg,omitempty"`
+	// Iterations is the b.N the reported metrics were averaged over.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps a unit to its per-iteration value, e.g. "ns/op": 123.4.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	report, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+// parse scans `go test -bench` output: context lines (goos:, goarch:, pkg:,
+// cpu:) set the current environment, and lines starting with "Benchmark"
+// followed by an iteration count and (value, unit) pairs become records.
+// Everything else (PASS, ok, test logs) is ignored.
+func parse(sc *bufio.Scanner) (*Report, error) {
+	report := &Report{Benchmarks: []Benchmark{}}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			report.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			report.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			report.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A result line is "Name N value unit [value unit ...]".
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iterations, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			Name:       fields[0],
+			Pkg:        pkg,
+			Iterations: iterations,
+			Metrics:    make(map[string]float64, (len(fields)-2)/2),
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			value, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			b.Metrics[fields[i+1]] = value
+		}
+		report.Benchmarks = append(report.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading input: %w", err)
+	}
+	return report, nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkPlannerLA2Tensorflow/workers=1         	       3	5731596844 ns/op	 260527109 ns/decision
+BenchmarkEnsembleFitPredict                     	       3	    360295 ns/op
+some test log line
+PASS
+ok  	repro	46.914s
+`
+	report, err := parse(bufio.NewScanner(strings.NewReader(input)))
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	if report.Goos != "linux" || report.Goarch != "amd64" {
+		t.Errorf("environment = %q/%q, want linux/amd64", report.Goos, report.Goarch)
+	}
+	if len(report.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(report.Benchmarks))
+	}
+	first := report.Benchmarks[0]
+	if first.Name != "BenchmarkPlannerLA2Tensorflow/workers=1" || first.Pkg != "repro" || first.Iterations != 3 {
+		t.Errorf("unexpected first record: %+v", first)
+	}
+	if first.Metrics["ns/op"] != 5731596844 || first.Metrics["ns/decision"] != 260527109 {
+		t.Errorf("unexpected first metrics: %+v", first.Metrics)
+	}
+	second := report.Benchmarks[1]
+	if second.Name != "BenchmarkEnsembleFitPredict" || second.Metrics["ns/op"] != 360295 {
+		t.Errorf("unexpected second record: %+v", second)
+	}
+}
+
+func TestParseIgnoresMalformedLines(t *testing.T) {
+	input := `Benchmark       notanumber	12 ns/op
+BenchmarkOdd	3	12
+`
+	report, err := parse(bufio.NewScanner(strings.NewReader(input)))
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	if len(report.Benchmarks) != 0 {
+		t.Errorf("parsed %d benchmarks from malformed input, want 0", len(report.Benchmarks))
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -41,8 +42,20 @@ func run() error {
 		outDir     = flag.String("out", "", "directory to write per-experiment result files (optional)")
 		csvOut     = flag.Bool("csv", false, "additionally write each result table as CSV next to the .txt report (requires -out)")
 		list       = flag.Bool("list", false, "list the available experiments and exit")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (taken after the campaign) to this file")
 	)
 	flag.Parse()
+
+	stopProfiling, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiling(); err != nil {
+			fmt.Fprintln(os.Stderr, "lynceus-exp:", err)
+		}
+	}()
 
 	if *list {
 		for _, e := range experiments.All() {

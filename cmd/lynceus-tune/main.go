@@ -16,6 +16,7 @@ import (
 
 	lynceus "repro"
 	"repro/internal/optimizer"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -36,8 +37,20 @@ func run() error {
 		lookahead        = flag.Int("lookahead", 2, "Lynceus lookahead window (0 = myopic cost-aware variant)")
 		seed             = flag.Int64("seed", 1, "random seed")
 		verbose          = flag.Bool("v", false, "print every exploration, not only the recommendation")
+		cpuProfile       = flag.String("cpuprofile", "", "write a CPU profile of the tuning run to this file")
+		memProfile       = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 	)
 	flag.Parse()
+
+	stopProfiling, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiling(); err != nil {
+			fmt.Fprintln(os.Stderr, "lynceus-tune:", err)
+		}
+	}()
 
 	if *datasetPath == "" {
 		return fmt.Errorf("missing required -dataset flag")

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/numeric"
 	"repro/internal/regtree"
 )
 
@@ -264,5 +265,115 @@ func TestQuickPredictionWithinTargetRange(t *testing.T) {
 	}
 	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
 		t.Errorf("bagging prediction range property failed: %v", err)
+	}
+}
+
+// transpose turns row-major feature rows into the column-major matrix
+// consumed by PredictBatch.
+func transpose(rows [][]float64) [][]float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	cols := make([][]float64, len(rows[0]))
+	for f := range cols {
+		cols[f] = make([]float64, len(rows))
+		for i, row := range rows {
+			cols[f][i] = row[f]
+		}
+	}
+	return cols
+}
+
+// TestPredictBatchMatchesScalarBitwise is the model-level half of the batch
+// determinism contract: for any seed and ensemble size, the batched sweep
+// must emit Gaussians bitwise identical to sequential Predict calls.
+func TestPredictBatchMatchesScalarBitwise(t *testing.T) {
+	for _, trees := range []int{1, 5, 10, 20} {
+		for seed := int64(1); seed <= 5; seed++ {
+			features, targets := linearDataset(40, 1.0, seed)
+			e := New(Params{NumTrees: trees, MinStdDevFraction: 0.01}, seed)
+			if err := e.Fit(features, targets); err != nil {
+				t.Fatalf("trees=%d seed=%d: Fit error: %v", trees, seed, err)
+			}
+			rng := rand.New(rand.NewSource(seed + 100))
+			queries := make([][]float64, 120)
+			for i := range queries {
+				queries[i] = []float64{rng.Float64() * 12, rng.Float64() * 6}
+			}
+			out := make([]numeric.Gaussian, len(queries))
+			if err := e.PredictBatch(transpose(queries), out); err != nil {
+				t.Fatalf("trees=%d seed=%d: PredictBatch error: %v", trees, seed, err)
+			}
+			for i, q := range queries {
+				want, err := e.Predict(q)
+				if err != nil {
+					t.Fatalf("trees=%d seed=%d: Predict error: %v", trees, seed, err)
+				}
+				if out[i] != want {
+					t.Fatalf("trees=%d seed=%d query %d: batch %+v != scalar %+v", trees, seed, i, out[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestPredictBatchValidation(t *testing.T) {
+	e := New(Params{NumTrees: 3}, 1)
+	if err := e.PredictBatch([][]float64{{1}, {2}}, make([]numeric.Gaussian, 1)); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("PredictBatch before Fit error = %v, want ErrNotTrained", err)
+	}
+	features, targets := linearDataset(20, 0.5, 1)
+	if err := e.Fit(features, targets); err != nil {
+		t.Fatalf("Fit error: %v", err)
+	}
+	if err := e.PredictBatch([][]float64{{1}}, make([]numeric.Gaussian, 1)); err == nil {
+		t.Error("PredictBatch with wrong column count: expected error, got nil")
+	}
+	if err := e.PredictBatch([][]float64{{1, 2}, {3}}, make([]numeric.Gaussian, 2)); err == nil {
+		t.Error("PredictBatch with ragged columns: expected error, got nil")
+	}
+}
+
+// TestPredictBatchZeroAllocsPerSweep is the allocation regression test of the
+// batch path: after the first call has grown the scratch, a full sweep must
+// not allocate at all — zero allocations per swept configuration.
+func TestPredictBatchZeroAllocsPerSweep(t *testing.T) {
+	features, targets := linearDataset(40, 1.0, 3)
+	e := New(Params{NumTrees: 10}, 3)
+	if err := e.Fit(features, targets); err != nil {
+		t.Fatalf("Fit error: %v", err)
+	}
+	cols := transpose(features)
+	out := make([]numeric.Gaussian, len(features))
+	// Warm the scratch once so the steady-state sweep is measured.
+	if err := e.PredictBatch(cols, out); err != nil {
+		t.Fatalf("PredictBatch error: %v", err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := e.PredictBatch(cols, out); err != nil {
+			t.Fatalf("PredictBatch error: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("PredictBatch allocations per sweep = %v, want 0", allocs)
+	}
+}
+
+// TestScalarPredictZeroAllocs locks in the hoisted validation of the scalar
+// path: one Predict call validates once and allocates nothing.
+func TestScalarPredictZeroAllocs(t *testing.T) {
+	features, targets := linearDataset(40, 1.0, 3)
+	e := New(Params{NumTrees: 10}, 3)
+	if err := e.Fit(features, targets); err != nil {
+		t.Fatalf("Fit error: %v", err)
+	}
+	x := []float64{3, 2}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := e.Predict(x); err != nil {
+			t.Fatalf("Predict error: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Predict allocations per call = %v, want 0", allocs)
 	}
 }

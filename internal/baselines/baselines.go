@@ -64,15 +64,23 @@ func (b *BO) Name() string {
 	return "bo"
 }
 
-// boModels bundles the cost model with one model per extra constraint metric.
+// boModels bundles the cost model with one model per extra constraint metric,
+// plus the scratch of the full-space batch prediction sweep: after each fit,
+// every model predicts the whole space in one PredictBatch call over the
+// space's column-major feature matrix, and candidate scoring reads the
+// resulting Gaussians by configuration ID.
 type boModels struct {
 	cost       *bagging.Ensemble
 	extraNames []string
 	extras     []*bagging.Ensemble
 	extraMax   []float64
+
+	cols       [][]float64          // space's column-major feature matrix (read-only)
+	costPreds  []numeric.Gaussian   // costPreds[id]: cost prediction of config id
+	extraPreds [][]numeric.Gaussian // extraPreds[k][id]: k-th constraint metric
 }
 
-func newBOModels(params bagging.Params, opts optimizer.Options) *boModels {
+func newBOModels(params bagging.Params, space *configspace.Space, opts optimizer.Options) *boModels {
 	names := make([]string, 0, len(opts.ExtraConstraints))
 	for _, c := range opts.ExtraConstraints {
 		names = append(names, c.Metric)
@@ -90,22 +98,34 @@ func newBOModels(params bagging.Params, opts optimizer.Options) *boModels {
 		cost:       bagging.New(params, opts.Seed),
 		extraNames: names,
 		extraMax:   maxima,
+		cols:       space.FeatureColumns(),
+		costPreds:  make([]numeric.Gaussian, space.Size()),
 	}
 	m.extras = make([]*bagging.Ensemble, len(names))
+	m.extraPreds = make([][]numeric.Gaussian, len(names))
 	for i := range names {
 		m.extras[i] = bagging.New(params, opts.Seed+int64(i+1)*1_000_003)
+		m.extraPreds[i] = make([]numeric.Gaussian, space.Size())
 	}
 	return m
 }
 
+// fit trains every model on the history and refreshes the full-space
+// prediction sweep: one batch prediction per model over the whole space.
 func (m *boModels) fit(h *optimizer.History) error {
 	features := h.Features()
 	if err := m.cost.Fit(features, h.Costs()); err != nil {
 		return fmt.Errorf("baselines: fitting cost model: %w", err)
 	}
+	if err := m.cost.PredictBatch(m.cols, m.costPreds); err != nil {
+		return fmt.Errorf("baselines: sweeping cost model: %w", err)
+	}
 	for i, name := range m.extraNames {
 		if err := m.extras[i].Fit(features, h.ExtraMetric(name)); err != nil {
 			return fmt.Errorf("baselines: fitting constraint model %q: %w", name, err)
+		}
+		if err := m.extras[i].PredictBatch(m.cols, m.extraPreds[i]); err != nil {
+			return fmt.Errorf("baselines: sweeping constraint model %q: %w", name, err)
 		}
 	}
 	return nil
@@ -143,7 +163,7 @@ func (b *BO) Optimize(env optimizer.Environment, opts optimizer.Options) (optimi
 		}
 		unitPrices[cfg.ID] = price
 	}
-	models := newBOModels(b.params.Model, opts)
+	models := newBOModels(b.params.Model, space, opts)
 
 	for {
 		nextID, ok, err := b.nextConfig(space, history, models, unitPrices, budget.Remaining(), opts)
@@ -175,32 +195,19 @@ func (b *BO) nextConfig(space *configspace.Space, h *optimizer.History, models *
 		return 0, false, err
 	}
 
-	type scored struct {
-		cfg       configspace.Config
-		costPred  numeric.Gaussian
-		extraPred []numeric.Gaussian
-	}
-	eligible := make([]scored, 0, len(untested))
+	// The models were swept over the whole space at fit time; candidate
+	// scoring is pure memo reads indexed by configuration ID.
+	eligible := make([]configspace.Config, 0, len(untested))
 	maxStd := 0.0
 	for _, cfg := range untested {
-		costPred, err := models.cost.Predict(cfg.Features)
-		if err != nil {
-			return 0, false, err
-		}
+		costPred := models.costPreds[cfg.ID]
 		if costPred.StdDev > maxStd {
 			maxStd = costPred.StdDev
 		}
 		if costPred.ProbLE(remainingBudget) < b.params.EligibilityProb {
 			continue
 		}
-		extraPred := make([]numeric.Gaussian, len(models.extras))
-		for i, m := range models.extras {
-			extraPred[i], err = m.Predict(cfg.Features)
-			if err != nil {
-				return 0, false, err
-			}
-		}
-		eligible = append(eligible, scored{cfg: cfg, costPred: costPred, extraPred: extraPred})
+		eligible = append(eligible, cfg)
 	}
 	if len(eligible) == 0 {
 		return 0, false, nil
@@ -208,24 +215,25 @@ func (b *BO) nextConfig(space *configspace.Space, h *optimizer.History, models *
 
 	best := incumbent(h, opts, maxStd)
 	scores := make([]acquisition.Score, 0, len(eligible))
-	for _, s := range eligible {
-		ei := acquisition.ExpectedImprovement(s.costPred, best)
-		probs := make([]float64, 0, 1+len(s.extraPred))
-		runtimeProb, err := acquisition.ConstraintProbability(s.costPred, opts.MaxRuntimeSeconds, unitPrices[s.cfg.ID]/3600)
+	for _, cfg := range eligible {
+		costPred := models.costPreds[cfg.ID]
+		ei := acquisition.ExpectedImprovement(costPred, best)
+		probs := make([]float64, 0, 1+len(models.extras))
+		runtimeProb, err := acquisition.ConstraintProbability(costPred, opts.MaxRuntimeSeconds, unitPrices[cfg.ID]/3600)
 		if err != nil {
 			return 0, false, err
 		}
 		probs = append(probs, runtimeProb)
-		for i, pred := range s.extraPred {
-			probs = append(probs, clampProb(pred.ProbLE(models.extraMax[i])))
+		for i := range models.extras {
+			probs = append(probs, clampProb(models.extraPreds[i][cfg.ID].ProbLE(models.extraMax[i])))
 		}
 		eic, err := acquisition.Constrained(ei, probs...)
 		if err != nil {
 			return 0, false, err
 		}
 		scores = append(scores, acquisition.Score{
-			ConfigID:     s.cfg.ID,
-			Pred:         s.costPred,
+			ConfigID:     cfg.ID,
+			Pred:         costPred,
 			EI:           ei,
 			ProbFeasible: runtimeProb,
 			EIc:          eic,

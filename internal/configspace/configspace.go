@@ -83,6 +83,12 @@ type Filter func(indices []int) bool
 type Space struct {
 	dims    []Dimension
 	configs []Config
+
+	// cols is the column-major feature matrix of the whole space:
+	// cols[d][id] is feature d of the configuration with the given ID. It is
+	// built once by New and shared read-only by every full-space batch
+	// prediction sweep, so fits and sweeps never rebuild features.
+	cols [][]float64
 }
 
 // New builds a Space from the Cartesian product of dims, restricted by
@@ -142,6 +148,14 @@ func New(dims []Dimension, filter Filter) (*Space, error) {
 	}
 	if len(s.configs) == 0 {
 		return nil, ErrEmptySpace
+	}
+	flat := make([]float64, len(copied)*len(s.configs))
+	s.cols = make([][]float64, len(copied))
+	for d := range s.cols {
+		s.cols[d] = flat[d*len(s.configs) : (d+1)*len(s.configs)]
+		for i, c := range s.configs {
+			s.cols[d][i] = c.Features[d]
+		}
 	}
 	return s, nil
 }
@@ -236,6 +250,14 @@ func (s *Space) Describe(c Config) string {
 	}
 	return strings.Join(parts, " ")
 }
+
+// FeatureColumns returns the column-major feature matrix of the space:
+// FeatureColumns()[d][id] is feature d of the configuration with the given
+// ID. The matrix is built once when the space is created and the returned
+// slices are shared, not copied — callers must treat them as read-only. It is
+// the input of the batch prediction path (regtree/bagging/gp PredictBatch),
+// which sweeps the whole space per planning decision.
+func (s *Space) FeatureColumns() [][]float64 { return s.cols }
 
 // FeatureNames returns the dimension names in feature-vector order.
 func (s *Space) FeatureNames() []string {

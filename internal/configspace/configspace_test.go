@@ -246,3 +246,29 @@ func TestQuickSpaceSizeMatchesFilter(t *testing.T) {
 		t.Errorf("space enumeration property failed: %v", err)
 	}
 }
+
+func TestFeatureColumnsMatchConfigFeatures(t *testing.T) {
+	space, err := New([]Dimension{
+		{Name: "a", Values: []float64{1, 2, 3}},
+		{Name: "b", Values: []float64{10, 20}},
+	}, func(indices []int) bool { return indices[0] != 1 || indices[1] != 1 })
+	if err != nil {
+		t.Fatalf("New error: %v", err)
+	}
+	cols := space.FeatureColumns()
+	if len(cols) != space.NumDimensions() {
+		t.Fatalf("FeatureColumns has %d columns, want %d", len(cols), space.NumDimensions())
+	}
+	for d, col := range cols {
+		if len(col) != space.Size() {
+			t.Fatalf("column %d has %d points, want %d", d, len(col), space.Size())
+		}
+	}
+	for _, cfg := range space.Configs() {
+		for d, v := range cfg.Features {
+			if cols[d][cfg.ID] != v {
+				t.Errorf("cols[%d][%d] = %v, want %v", d, cfg.ID, cols[d][cfg.ID], v)
+			}
+		}
+	}
+}

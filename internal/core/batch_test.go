@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/numeric"
+	"repro/internal/optimizer"
+)
+
+// TestOptimizeBatchScalarEquivalence is the campaign-level half of the batch
+// determinism contract: routing every full-space model sweep through
+// PredictBatch (the default) must profile exactly the same sequence of
+// configurations and produce the same recommendation as the scalar
+// per-configuration reference path, at LA=1 and at the pruned LA=2 search.
+func TestOptimizeBatchScalarEquivalence(t *testing.T) {
+	for _, lookahead := range []int{1, 2} {
+		for _, seed := range []int64{3, 17} {
+			env := fixtureEnv(t)
+			opts := fixtureOptions(t, seed)
+
+			batchParams := fastParams(lookahead)
+			scalarParams := fastParams(lookahead)
+			scalarParams.DisableBatchPredict = true
+
+			batched, err := New(batchParams)
+			if err != nil {
+				t.Fatalf("New error: %v", err)
+			}
+			scalar, err := New(scalarParams)
+			if err != nil {
+				t.Fatalf("New error: %v", err)
+			}
+			a, err := batched.Optimize(env, opts)
+			if err != nil {
+				t.Fatalf("LA=%d seed=%d: batched Optimize error: %v", lookahead, seed, err)
+			}
+			b, err := scalar.Optimize(env, opts)
+			if err != nil {
+				t.Fatalf("LA=%d seed=%d: scalar Optimize error: %v", lookahead, seed, err)
+			}
+			if len(a.Trials) != len(b.Trials) {
+				t.Fatalf("LA=%d seed=%d: trial counts differ: %d vs %d", lookahead, seed, len(a.Trials), len(b.Trials))
+			}
+			for i := range a.Trials {
+				if a.Trials[i].Config.ID != b.Trials[i].Config.ID {
+					t.Fatalf("LA=%d seed=%d: trial %d differs between batch and scalar: %d vs %d",
+						lookahead, seed, i, a.Trials[i].Config.ID, b.Trials[i].Config.ID)
+				}
+			}
+			if a.Recommended.Config.ID != b.Recommended.Config.ID {
+				t.Errorf("LA=%d seed=%d: recommendations differ: %d vs %d",
+					lookahead, seed, a.Recommended.Config.ID, b.Recommended.Config.ID)
+			}
+			if a.SpentBudget != b.SpentBudget {
+				t.Errorf("LA=%d seed=%d: spent budgets differ: %v vs %v",
+					lookahead, seed, a.SpentBudget, b.SpentBudget)
+			}
+		}
+	}
+}
+
+// TestOptimizeBatchScalarEquivalenceWithExtraConstraint repeats the
+// equivalence check with an extra constraint model in the set, so the batch
+// prefill of the per-metric models is exercised too.
+func TestOptimizeBatchScalarEquivalenceWithExtraConstraint(t *testing.T) {
+	env := fixtureEnv(t)
+	opts := fixtureOptions(t, 11)
+	opts.ExtraConstraints = []optimizer.Constraint{{Metric: "energy", Max: 60}}
+
+	batchParams := fastParams(1)
+	scalarParams := fastParams(1)
+	scalarParams.DisableBatchPredict = true
+
+	batched, err := New(batchParams)
+	if err != nil {
+		t.Fatalf("New error: %v", err)
+	}
+	scalar, err := New(scalarParams)
+	if err != nil {
+		t.Fatalf("New error: %v", err)
+	}
+	a, err := batched.Optimize(env, opts)
+	if err != nil {
+		t.Fatalf("batched Optimize error: %v", err)
+	}
+	b, err := scalar.Optimize(env, opts)
+	if err != nil {
+		t.Fatalf("scalar Optimize error: %v", err)
+	}
+	if len(a.Trials) != len(b.Trials) {
+		t.Fatalf("trial counts differ: %d vs %d", len(a.Trials), len(b.Trials))
+	}
+	for i := range a.Trials {
+		if a.Trials[i].Config.ID != b.Trials[i].Config.ID {
+			t.Fatalf("trial %d differs between batch and scalar: %d vs %d",
+				i, a.Trials[i].Config.ID, b.Trials[i].Config.ID)
+		}
+	}
+	if a.Recommended.Config.ID != b.Recommended.Config.ID {
+		t.Errorf("recommendations differ: %d vs %d", a.Recommended.Config.ID, b.Recommended.Config.ID)
+	}
+}
+
+// scalarOnlyFactory wraps a model.Factory and hides the batch capability of
+// its regressors, mimicking a custom ModelFactory without PredictBatch.
+type scalarOnlyFactory struct{ inner model.Factory }
+
+type scalarOnlyRegressor struct{ inner model.Regressor }
+
+func (f scalarOnlyFactory) New(stream int64) model.Regressor {
+	return scalarOnlyRegressor{inner: f.inner.New(stream)}
+}
+func (f scalarOnlyFactory) Name() string { return f.inner.Name() }
+func (r scalarOnlyRegressor) Fit(features [][]float64, targets []float64) error {
+	return r.inner.Fit(features, targets)
+}
+func (r scalarOnlyRegressor) Predict(x []float64) (numeric.Gaussian, error) {
+	return r.inner.Predict(x)
+}
+
+// TestOptimizeNonBatchFactoryMatchesBatchDefault pins the custom-factory
+// escape hatch: a factory whose regressors lack PredictBatch must fall back
+// to the lazy scalar path (no serial full-space sweep) and still produce the
+// decisions of the equivalent batch-capable factory.
+func TestOptimizeNonBatchFactoryMatchesBatchDefault(t *testing.T) {
+	env := fixtureEnv(t)
+	opts := fixtureOptions(t, 7)
+
+	batchParams := fastParams(1)
+	batchParams.ModelFactory = model.NewBaggingFactory(batchParams.Model, opts.Seed)
+	scalarParams := fastParams(1)
+	scalarParams.ModelFactory = scalarOnlyFactory{inner: model.NewBaggingFactory(scalarParams.Model, opts.Seed)}
+
+	batched, err := New(batchParams)
+	if err != nil {
+		t.Fatalf("New error: %v", err)
+	}
+	scalar, err := New(scalarParams)
+	if err != nil {
+		t.Fatalf("New error: %v", err)
+	}
+	a, err := batched.Optimize(env, opts)
+	if err != nil {
+		t.Fatalf("batched Optimize error: %v", err)
+	}
+	b, err := scalar.Optimize(env, opts)
+	if err != nil {
+		t.Fatalf("scalar-only Optimize error: %v", err)
+	}
+	if len(a.Trials) != len(b.Trials) {
+		t.Fatalf("trial counts differ: %d vs %d", len(a.Trials), len(b.Trials))
+	}
+	for i := range a.Trials {
+		if a.Trials[i].Config.ID != b.Trials[i].Config.ID {
+			t.Fatalf("trial %d differs: %d vs %d", i, a.Trials[i].Config.ID, b.Trials[i].Config.ID)
+		}
+	}
+	if a.Recommended.Config.ID != b.Recommended.Config.ID {
+		t.Errorf("recommendations differ: %d vs %d", a.Recommended.Config.ID, b.Recommended.Config.ID)
+	}
+}

@@ -20,6 +20,7 @@ type planner struct {
 	space      *configspace.Space
 	candidates []candidate          // indexed by configuration ID
 	configs    []configspace.Config // indexed by configuration ID
+	cols       [][]float64          // space's column-major feature matrix (read-only)
 	factory    model.Factory
 	iteration  int
 }
@@ -52,6 +53,7 @@ func newPlanner(params Params, env optimizer.Environment, opts optimizer.Options
 		space:      space,
 		candidates: candidates,
 		configs:    configs,
+		cols:       space.FeatureColumns(),
 		factory:    factory,
 	}, nil
 }
@@ -225,15 +227,56 @@ func (ms *modelSet) predictCand(c candidate) (numeric.Gaussian, []numeric.Gaussi
 	return costPred, extraPreds, nil
 }
 
-// prefill computes the memoized predictions of every candidate on a bounded
-// worker pool. After it returns, predictCand is a read-only lookup for those
-// candidates, which makes the modelSet safe to share across the parallel
-// path-evaluation fan-out.
-func (ms *modelSet) prefill(cands []candidate, workers int) error {
+// prefillScalar computes the memoized predictions of every candidate on a
+// bounded worker pool, one scalar Predict call per (model, candidate). It is
+// the Params.DisableBatchPredict reference path; prefillBatch is the
+// production path. After either returns, predictCand is a read-only lookup
+// for those candidates, which makes the modelSet safe to share across the
+// parallel path-evaluation fan-out.
+func (ms *modelSet) prefillScalar(cands []candidate, workers int) error {
 	return optimizer.ParallelFor(workers, len(cands), func(i int) error {
 		_, _, err := ms.predictCand(cands[i])
 		return err
 	})
+}
+
+// prefillBatch computes the memoized predictions of every configuration of
+// the space in one batch sweep per model over the space's column-major
+// feature matrix. The batch path emits Gaussians bitwise identical to the
+// scalar path, so the memo — and therefore every planning decision — is the
+// same either way; it just stops paying per-call validation, per-tree
+// dispatch, and error wrapping for every swept configuration.
+func (ms *modelSet) prefillBatch(cols [][]float64) error {
+	if err := ms.cost.Prefill(cols); err != nil {
+		return fmt.Errorf("core: prefilling cost model: %w", err)
+	}
+	for k, m := range ms.extras {
+		if err := m.Prefill(cols); err != nil {
+			return fmt.Errorf("core: prefilling constraint model %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// supportsBatch reports whether the set's models can sweep in one batched
+// call. Every model of the set comes from the same factory, so probing the
+// cost model is enough.
+func (ms *modelSet) supportsBatch() bool { return ms.cost.SupportsBatch() }
+
+// refit trains the model set on the training set and, when batch prediction
+// applies, immediately prefills the whole-space prediction memo — every
+// subsequent sweep of the new generation (eligibility, incumbent fallback,
+// EIc) then hits the memo instead of predicting configurations one at a
+// time. Custom factories without a batch path keep PR 1's lazy behavior: the
+// memo fills on first use, one scalar prediction per configuration.
+func (p *planner) refit(ms *modelSet, ts *trainSet) error {
+	if err := ms.fit(ts); err != nil {
+		return err
+	}
+	if !p.params.DisableBatchPredict && ms.supportsBatch() {
+		return ms.prefillBatch(p.cols)
+	}
+	return nil
 }
 
 // specState is the state Σ of one node of an exploration path: the
@@ -476,7 +519,7 @@ func (p *planner) explorePaths(state *specState, models *modelSet, inc float64, 
 			budget:     state.budget - specCost - setup,
 			deployedID: cand.id,
 		}
-		if err := scratch.fit(childState.train); err != nil {
+		if err := p.refit(scratch, childState.train); err != nil {
 			return 0, 0, err
 		}
 		childInc, err := p.incumbent(childState, scratch)
@@ -550,14 +593,20 @@ func (p *planner) nextConfig(h *optimizer.History, remainingBudget float64) (con
 
 	rootModels := p.newModelSet(int64(p.iteration) * 2_000_000_011)
 	p.iteration++
+	// Fit, then populate the root prediction memo up front: every later
+	// root-model prediction (eligibility, incumbent fallback, per-path root
+	// EIc) becomes a read-only lookup, which keeps the shared root model set
+	// race-free during the parallel fan-out. The production path sweeps the
+	// whole space in one batch per model (refit); the scalar reference path
+	// predicts the untested candidates one by one on the worker pool.
 	if err := rootModels.fit(train); err != nil {
 		return configspace.Config{}, false, err
 	}
-	// Populate the root prediction memo up front: every later root-model
-	// prediction (eligibility, incumbent fallback, per-path root EIc) becomes
-	// a read-only lookup, which keeps the shared root model set race-free
-	// during the parallel fan-out.
-	if err := rootModels.prefill(untested, p.params.Workers); err != nil {
+	if p.params.DisableBatchPredict || !rootModels.supportsBatch() {
+		if err := rootModels.prefillScalar(untested, p.params.Workers); err != nil {
+			return configspace.Config{}, false, err
+		}
+	} else if err := rootModels.prefillBatch(p.cols); err != nil {
 		return configspace.Config{}, false, err
 	}
 

@@ -181,8 +181,8 @@ func (g *GP) Predict(x []float64) (numeric.Gaussian, error) {
 	}
 
 	// Predictive variance: k(x,x) - vᵀv with v = L⁻¹·k*.
-	v, err := forwardSolve(g.chol, kStar)
-	if err != nil {
+	v := make([]float64, n)
+	if err := forwardSolveInto(g.chol, kStar, v); err != nil {
 		return numeric.Gaussian{}, err
 	}
 	variance := g.kernel(z, z)
@@ -193,6 +193,58 @@ func (g *GP) Predict(x []float64) (numeric.Gaussian, error) {
 		variance = 0
 	}
 	return numeric.Gaussian{Mean: mean, StdDev: math.Sqrt(variance)}, nil
+}
+
+// PredictBatch predicts every point of a column-major feature matrix
+// (cols[d][i] is dimension d of point i), writing the posterior distribution
+// of point i to out[i]. The Cholesky factorization computed by Fit is reused
+// across every query point, and the per-point buffers (normalized input, k*,
+// and the triangular solve) are allocated once per call instead of once per
+// point. The arithmetic per point is exactly Predict's, so batched and scalar
+// predictions are bitwise identical.
+func (g *GP) PredictBatch(cols [][]float64, out []numeric.Gaussian) error {
+	if !g.trained {
+		return ErrNotTrained
+	}
+	if len(cols) != len(g.lo) {
+		return fmt.Errorf("gp: feature matrix has %d columns, want %d", len(cols), len(g.lo))
+	}
+	m := len(out)
+	for d, col := range cols {
+		if len(col) != m {
+			return fmt.Errorf("gp: feature column %d has %d points, want %d", d, len(col), m)
+		}
+	}
+	n := len(g.inputs)
+	x := make([]float64, len(cols))
+	z := make([]float64, len(cols))
+	kStar := make([]float64, n)
+	v := make([]float64, n)
+	for i := 0; i < m; i++ {
+		for d, col := range cols {
+			x[d] = col[i]
+		}
+		g.normalizeInto(x, z)
+		for j, xj := range g.inputs {
+			kStar[j] = g.kernel(z, xj)
+		}
+		mean := g.yMean
+		for j := range kStar {
+			mean += kStar[j] * g.alpha[j]
+		}
+		if err := forwardSolveInto(g.chol, kStar, v); err != nil {
+			return err
+		}
+		variance := g.kernel(z, z)
+		for j := range v {
+			variance -= v[j] * v[j]
+		}
+		if variance < 0 {
+			variance = 0
+		}
+		out[i] = numeric.Gaussian{Mean: mean, StdDev: math.Sqrt(variance)}
+	}
+	return nil
 }
 
 // kernel is the squared-exponential covariance between two normalized inputs.
@@ -226,6 +278,12 @@ func (g *GP) fitRanges(features [][]float64, dims int) {
 // normalize rescales an input to [0,1] per dimension when enabled.
 func (g *GP) normalize(x []float64) []float64 {
 	out := make([]float64, len(x))
+	g.normalizeInto(x, out)
+	return out
+}
+
+// normalizeInto is normalize writing into a caller-provided buffer.
+func (g *GP) normalizeInto(x, out []float64) {
 	for d := range x {
 		if !g.params.NormalizeInputs {
 			out[d] = x[d]
@@ -238,7 +296,6 @@ func (g *GP) normalize(x []float64) []float64 {
 		}
 		out[d] = (x[d] - g.lo[d]) / span
 	}
-	return out
 }
 
 // medianDistance returns the median pairwise Euclidean distance of the
@@ -332,22 +389,31 @@ func cholesky(m [][]float64) ([][]float64, error) {
 
 // forwardSolve solves L·v = b for lower-triangular L.
 func forwardSolve(l [][]float64, b []float64) ([]float64, error) {
+	v := make([]float64, len(l))
+	if err := forwardSolveInto(l, b, v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// forwardSolveInto solves L·v = b into a caller-provided buffer, so batched
+// prediction can reuse one buffer across every query point.
+func forwardSolveInto(l [][]float64, b, v []float64) error {
 	n := len(l)
 	if len(b) != n {
-		return nil, fmt.Errorf("gp: solve dimension mismatch (%d vs %d)", len(b), n)
+		return fmt.Errorf("gp: solve dimension mismatch (%d vs %d)", len(b), n)
 	}
-	v := make([]float64, n)
 	for i := 0; i < n; i++ {
 		sum := b[i]
 		for k := 0; k < i; k++ {
 			sum -= l[i][k] * v[k]
 		}
 		if l[i][i] == 0 {
-			return nil, errors.New("gp: singular triangular factor")
+			return errors.New("gp: singular triangular factor")
 		}
 		v[i] = sum / l[i][i]
 	}
-	return v, nil
+	return nil
 }
 
 // backSolve solves Lᵀ·x = b for lower-triangular L.

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/numeric"
 )
 
 func TestFitValidation(t *testing.T) {
@@ -270,5 +272,59 @@ func TestQuickVarianceNonNegativeAndFiniteMean(t *testing.T) {
 	}
 	if err := quick.Check(property, &quick.Config{MaxCount: 25}); err != nil {
 		t.Errorf("GP predictive distribution property failed: %v", err)
+	}
+}
+
+func TestPredictBatchMatchesScalarBitwise(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		features := make([][]float64, 25)
+		targets := make([]float64, 25)
+		for i := range features {
+			features[i] = []float64{rng.Float64() * 10, rng.Float64() * 100}
+			targets[i] = math.Sin(features[i][0]) + features[i][1]/50
+		}
+		g := New(Params{})
+		if err := g.Fit(features, targets); err != nil {
+			t.Fatalf("seed=%d: Fit error: %v", seed, err)
+		}
+		queries := make([][]float64, 60)
+		cols := make([][]float64, 2)
+		cols[0] = make([]float64, len(queries))
+		cols[1] = make([]float64, len(queries))
+		for i := range queries {
+			queries[i] = []float64{rng.Float64() * 12, rng.Float64() * 120}
+			cols[0][i] = queries[i][0]
+			cols[1][i] = queries[i][1]
+		}
+		out := make([]numeric.Gaussian, len(queries))
+		if err := g.PredictBatch(cols, out); err != nil {
+			t.Fatalf("seed=%d: PredictBatch error: %v", seed, err)
+		}
+		for i, q := range queries {
+			want, err := g.Predict(q)
+			if err != nil {
+				t.Fatalf("seed=%d: Predict error: %v", seed, err)
+			}
+			if out[i] != want {
+				t.Fatalf("seed=%d query %d: batch %+v != scalar %+v", seed, i, out[i], want)
+			}
+		}
+	}
+}
+
+func TestPredictBatchValidation(t *testing.T) {
+	g := New(Params{})
+	if err := g.PredictBatch([][]float64{{1}}, make([]numeric.Gaussian, 1)); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("PredictBatch before Fit error = %v, want ErrNotTrained", err)
+	}
+	if err := g.Fit([][]float64{{0, 0}, {1, 1}, {2, 0}}, []float64{0, 1, 2}); err != nil {
+		t.Fatalf("Fit error: %v", err)
+	}
+	if err := g.PredictBatch([][]float64{{1}}, make([]numeric.Gaussian, 1)); err == nil {
+		t.Error("PredictBatch with wrong column count: expected error, got nil")
+	}
+	if err := g.PredictBatch([][]float64{{1, 2}, {3}}, make([]numeric.Gaussian, 2)); err == nil {
+		t.Error("PredictBatch with ragged columns: expected error, got nil")
 	}
 }

@@ -33,10 +33,24 @@ type Factory interface {
 	Name() string
 }
 
-// Statically assert that the concrete learners satisfy Regressor.
+// BatchRegressor is implemented by regressors that can predict a whole batch
+// of points in one call over a column-major feature matrix (cols[d][i] is
+// feature d of point i, out[i] its predictive distribution). Implementations
+// must emit Gaussians bitwise identical to point-by-point Predict calls, so
+// batched and scalar planners make identical decisions; they may reuse
+// internal scratch, so a single PredictBatch call must not run concurrently
+// with another on the same regressor.
+type BatchRegressor interface {
+	PredictBatch(cols [][]float64, out []numeric.Gaussian) error
+}
+
+// Statically assert that the concrete learners satisfy Regressor and the
+// batch extension.
 var (
-	_ Regressor = (*bagging.Ensemble)(nil)
-	_ Regressor = (*gp.GP)(nil)
+	_ Regressor      = (*bagging.Ensemble)(nil)
+	_ Regressor      = (*gp.GP)(nil)
+	_ BatchRegressor = (*bagging.Ensemble)(nil)
+	_ BatchRegressor = (*gp.GP)(nil)
 )
 
 // BaggingFactory builds bagging ensembles of regression trees (the paper's
@@ -121,6 +135,11 @@ type Cached struct {
 	inner Regressor
 	gen   int
 	memo  []cachedPred
+
+	// Scratch reused by Prefill: the batch output buffer and, for inner
+	// regressors without a batch path, one gathered feature row.
+	preds []numeric.Gaussian
+	row   []float64
 }
 
 // NewCached wraps inner with a memo for configuration IDs in [0, size).
@@ -163,6 +182,79 @@ func (c *Cached) PredictID(id int, x []float64) (numeric.Gaussian, error) {
 		c.memo[id] = cachedPred{gen: c.gen + memoGenOffset, pred: pred}
 	}
 	return pred, nil
+}
+
+// SupportsBatch reports whether the wrapped regressor implements
+// BatchRegressor, i.e. whether Prefill can sweep in one batched call. The
+// planner uses it to keep non-batch custom models on the lazy scalar path
+// instead of forcing a serial point-by-point sweep.
+func (c *Cached) SupportsBatch() bool {
+	_, ok := c.inner.(BatchRegressor)
+	return ok
+}
+
+// Prefill computes the memoized prediction of every configuration ID in
+// [0, len(memo)) from the space's column-major feature matrix (cols[d][id] is
+// feature d of the configuration with that ID) in one batch sweep. After it
+// returns, PredictID is a read-only lookup for every ID of the current
+// generation, which makes the Cached model safe to share across a parallel
+// fan-out. Columns longer than the memo are allowed; only the first
+// len(memo) points are swept. Inner regressors implementing BatchRegressor
+// predict the whole sweep in one call; others are swept point by point
+// through the same memo.
+//
+// Prefill mutates the memo and must not run concurrently with Fit, PredictID
+// or another Prefill on the same Cached.
+func (c *Cached) Prefill(cols [][]float64) error {
+	n := len(c.memo)
+	if n == 0 {
+		return nil
+	}
+	trimmed := false
+	for d, col := range cols {
+		if len(col) < n {
+			return fmt.Errorf("model: feature column %d has %d points, want at least %d", d, len(col), n)
+		}
+		trimmed = trimmed || len(col) > n
+	}
+	gen := c.gen + memoGenOffset
+	if batch, ok := c.inner.(BatchRegressor); ok {
+		if trimmed {
+			// PredictBatch requires len(col) == len(out) exactly; present a
+			// view of the first n points of each column.
+			view := make([][]float64, len(cols))
+			for d, col := range cols {
+				view[d] = col[:n]
+			}
+			cols = view
+		}
+		if cap(c.preds) < n {
+			c.preds = make([]numeric.Gaussian, n)
+		}
+		preds := c.preds[:n]
+		if err := batch.PredictBatch(cols, preds); err != nil {
+			return err
+		}
+		for id, pred := range preds {
+			c.memo[id] = cachedPred{gen: gen, pred: pred}
+		}
+		return nil
+	}
+	if cap(c.row) < len(cols) {
+		c.row = make([]float64, len(cols))
+	}
+	row := c.row[:len(cols)]
+	for id := 0; id < n; id++ {
+		for d, col := range cols {
+			row[d] = col[id]
+		}
+		pred, err := c.inner.Predict(row)
+		if err != nil {
+			return err
+		}
+		c.memo[id] = cachedPred{gen: gen, pred: pred}
+	}
+	return nil
 }
 
 // memoGenOffset keeps the zero value of cachedPred.gen distinct from the

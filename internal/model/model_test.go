@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bagging"
 	"repro/internal/gp"
+	"repro/internal/numeric"
 )
 
 func trainingData() ([][]float64, []float64) {
@@ -91,5 +92,153 @@ func TestBaggingFactoryStreamsAreDeterministic(t *testing.T) {
 	}
 	if pa != pb {
 		t.Errorf("same stream produced different models: %+v vs %+v", pa, pb)
+	}
+}
+
+// scalarOnly wraps a Regressor and hides its batch path, exercising Prefill's
+// point-by-point fallback.
+type scalarOnly struct{ inner Regressor }
+
+func (s scalarOnly) Fit(features [][]float64, targets []float64) error {
+	return s.inner.Fit(features, targets)
+}
+func (s scalarOnly) Predict(x []float64) (numeric.Gaussian, error) { return s.inner.Predict(x) }
+
+// spaceColumns builds a column-major matrix for a tiny 2-dimensional space of
+// n configurations.
+func spaceColumns(n int) ([][]float64, [][]float64) {
+	cols := [][]float64{make([]float64, n), make([]float64, n)}
+	rows := make([][]float64, n)
+	for id := 0; id < n; id++ {
+		cols[0][id] = float64(id) / 2
+		cols[1][id] = float64(id % 4)
+		rows[id] = []float64{cols[0][id], cols[1][id]}
+	}
+	return cols, rows
+}
+
+func TestCachedPrefillMatchesPredictID(t *testing.T) {
+	features, targets := trainingData()
+	const n = 24
+	cols, rows := spaceColumns(n)
+	for _, tc := range []struct {
+		name  string
+		inner Regressor
+	}{
+		{name: "batch-bagging", inner: bagging.New(bagging.Params{NumTrees: 6}, 5)},
+		{name: "batch-gp", inner: gp.New(gp.Params{})},
+		{name: "scalar-fallback", inner: scalarOnly{inner: bagging.New(bagging.Params{NumTrees: 6}, 5)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// Reference: an identical model swept through cold PredictID calls.
+			var ref Regressor
+			switch tc.name {
+			case "batch-gp":
+				ref = gp.New(gp.Params{})
+			default:
+				ref = bagging.New(bagging.Params{NumTrees: 6}, 5)
+			}
+			cached := NewCached(tc.inner, n)
+			refCached := NewCached(ref, n)
+			if err := cached.Fit(features, targets); err != nil {
+				t.Fatalf("Fit error: %v", err)
+			}
+			if err := refCached.Fit(features, targets); err != nil {
+				t.Fatalf("Fit error: %v", err)
+			}
+			if err := cached.Prefill(cols); err != nil {
+				t.Fatalf("Prefill error: %v", err)
+			}
+			for id := 0; id < n; id++ {
+				got, err := cached.PredictID(id, rows[id])
+				if err != nil {
+					t.Fatalf("PredictID error: %v", err)
+				}
+				want, err := refCached.PredictID(id, rows[id])
+				if err != nil {
+					t.Fatalf("reference PredictID error: %v", err)
+				}
+				if got != want {
+					t.Fatalf("config %d: prefetched %+v != scalar %+v", id, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestCachedPrefillInvalidatedByFit(t *testing.T) {
+	features, targets := trainingData()
+	const n = 8
+	cols, rows := spaceColumns(n)
+	cached := NewCached(bagging.New(bagging.Params{NumTrees: 4}, 9), n)
+	if err := cached.Fit(features, targets); err != nil {
+		t.Fatalf("Fit error: %v", err)
+	}
+	if err := cached.Prefill(cols); err != nil {
+		t.Fatalf("Prefill error: %v", err)
+	}
+	before, err := cached.PredictID(3, rows[3])
+	if err != nil {
+		t.Fatalf("PredictID error: %v", err)
+	}
+	// Refit on shifted targets: the memo generation must move on so the old
+	// prefilled prediction is not served.
+	shifted := make([]float64, len(targets))
+	for i, y := range targets {
+		shifted[i] = y + 100
+	}
+	if err := cached.Fit(features, shifted); err != nil {
+		t.Fatalf("Fit error: %v", err)
+	}
+	after, err := cached.PredictID(3, rows[3])
+	if err != nil {
+		t.Fatalf("PredictID error: %v", err)
+	}
+	if before == after {
+		t.Error("prefilled prediction survived a refit")
+	}
+}
+
+func TestCachedPrefillValidation(t *testing.T) {
+	cached := NewCached(bagging.New(bagging.Params{NumTrees: 4}, 9), 8)
+	features, targets := trainingData()
+	if err := cached.Fit(features, targets); err != nil {
+		t.Fatalf("Fit error: %v", err)
+	}
+	if err := cached.Prefill([][]float64{make([]float64, 4), make([]float64, 8)}); err == nil {
+		t.Error("Prefill with a short column: expected error, got nil")
+	}
+	if err := cached.Prefill([][]float64{make([]float64, 8)}); err == nil {
+		t.Error("Prefill with wrong column count: expected error, got nil")
+	}
+}
+
+func TestCachedPrefillTrimsLongerColumns(t *testing.T) {
+	features, targets := trainingData()
+	const n = 6
+	cols, rows := spaceColumns(12) // columns longer than the memo
+	cached := NewCached(bagging.New(bagging.Params{NumTrees: 4}, 2), n)
+	ref := NewCached(bagging.New(bagging.Params{NumTrees: 4}, 2), n)
+	if err := cached.Fit(features, targets); err != nil {
+		t.Fatalf("Fit error: %v", err)
+	}
+	if err := ref.Fit(features, targets); err != nil {
+		t.Fatalf("Fit error: %v", err)
+	}
+	if err := cached.Prefill(cols); err != nil {
+		t.Fatalf("Prefill with longer columns error: %v", err)
+	}
+	for id := 0; id < n; id++ {
+		got, err := cached.PredictID(id, rows[id])
+		if err != nil {
+			t.Fatalf("PredictID error: %v", err)
+		}
+		want, err := ref.PredictID(id, rows[id])
+		if err != nil {
+			t.Fatalf("reference PredictID error: %v", err)
+		}
+		if got != want {
+			t.Fatalf("config %d: trimmed prefill %+v != scalar %+v", id, got, want)
+		}
 	}
 }

@@ -1,0 +1,49 @@
+// Package profiling wires the standard -cpuprofile / -memprofile flags into
+// the command-line tools, so performance work can profile real campaigns
+// (e.g. `lynceus-exp -exp fig4 -cpuprofile cpu.pprof`) without editing code.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling (when cpuPath is non-empty) and returns a stop
+// function that finishes the CPU profile and writes the heap profile (when
+// memPath is non-empty). The stop function must run exactly once, after the
+// workload; defer it right after a successful Start.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: creating cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: starting cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: closing cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			memFile, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: creating mem profile: %w", err)
+			}
+			defer memFile.Close()
+			runtime.GC() // get up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(memFile); err != nil {
+				return fmt.Errorf("profiling: writing mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

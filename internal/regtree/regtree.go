@@ -422,6 +422,14 @@ func (t *Tree) Predict(x []float64) (float64, error) {
 	if len(x) != t.numFeatures {
 		return 0, fmt.Errorf("regtree: feature vector has %d columns, want %d", len(x), t.numFeatures)
 	}
+	return t.PredictUnchecked(x), nil
+}
+
+// PredictUnchecked is Predict without the per-call validation: the caller must
+// guarantee that the tree is trained and that len(x) == NumFeatures(). The
+// bagging ensemble uses it to validate a feature vector once per ensemble
+// prediction instead of once per tree.
+func (t *Tree) PredictUnchecked(x []float64) float64 {
 	nodes := t.nodes
 	i := int32(0)
 	for nodes[i].left >= 0 {
@@ -431,7 +439,42 @@ func (t *Tree) Predict(x []float64) (float64, error) {
 			i = nodes[i].right
 		}
 	}
-	return nodes[i].value, nil
+	return nodes[i].value
+}
+
+// PredictBatch predicts every point of a column-major feature matrix:
+// cols[f][i] is feature f of point i, and the estimate of point i is written
+// to out[i]. Inputs are validated once for the whole batch and the sweep
+// allocates nothing. It is the tree-level batch API for callers sweeping a
+// single tree; the bagging ensemble's own batch sweep instead gathers each
+// point into a row and walks the trees via PredictUnchecked, which measured
+// faster for its small cache-resident trees (see bagging.PredictBatch).
+func (t *Tree) PredictBatch(cols [][]float64, out []float64) error {
+	if t == nil || len(t.nodes) == 0 {
+		return errors.New("regtree: predict on untrained tree")
+	}
+	if len(cols) != t.numFeatures {
+		return fmt.Errorf("regtree: feature matrix has %d columns, want %d", len(cols), t.numFeatures)
+	}
+	n := len(out)
+	for f, col := range cols {
+		if len(col) != n {
+			return fmt.Errorf("regtree: feature column %d has %d points, want %d", f, len(col), n)
+		}
+	}
+	nodes := t.nodes
+	for i := 0; i < n; i++ {
+		j := int32(0)
+		for nodes[j].left >= 0 {
+			if cols[nodes[j].feature][i] <= nodes[j].threshold {
+				j = nodes[j].left
+			} else {
+				j = nodes[j].right
+			}
+		}
+		out[i] = nodes[j].value
+	}
+	return nil
 }
 
 // NumFeatures returns the number of input features the tree was trained on.

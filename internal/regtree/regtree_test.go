@@ -249,3 +249,98 @@ func TestQuickPredictionWithinTargetRange(t *testing.T) {
 		t.Errorf("prediction range property failed: %v", err)
 	}
 }
+
+// transpose turns row-major feature rows into the column-major matrix
+// consumed by PredictBatch.
+func transpose(rows [][]float64) [][]float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	cols := make([][]float64, len(rows[0]))
+	for f := range cols {
+		cols[f] = make([]float64, len(rows))
+		for i, row := range rows {
+			cols[f][i] = row[f]
+		}
+	}
+	return cols
+}
+
+func TestPredictBatchMatchesScalarBitwise(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(80) + 2
+		features := make([][]float64, n)
+		targets := make([]float64, n)
+		for i := range features {
+			features[i] = []float64{rng.Float64() * 100, float64(rng.Intn(4)), rng.NormFloat64()}
+			targets[i] = rng.NormFloat64() * 50
+		}
+		tree, err := Train(features, targets, Params{MinLeafSize: 1 + rng.Intn(2)}, nil)
+		if err != nil {
+			return false
+		}
+		queries := make([][]float64, 50)
+		for i := range queries {
+			queries[i] = []float64{rng.Float64() * 200, float64(rng.Intn(6)), rng.NormFloat64() * 2}
+		}
+		out := make([]float64, len(queries))
+		if err := tree.PredictBatch(transpose(queries), out); err != nil {
+			return false
+		}
+		for i, q := range queries {
+			want, err := tree.Predict(q)
+			if err != nil || out[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Errorf("batch/scalar equivalence property failed: %v", err)
+	}
+}
+
+func TestPredictBatchValidation(t *testing.T) {
+	tree, err := Train([][]float64{{1, 2}, {3, 4}, {5, 6}}, []float64{1, 2, 3}, Params{}, nil)
+	if err != nil {
+		t.Fatalf("Train error: %v", err)
+	}
+	var untrained *Tree
+	if err := untrained.PredictBatch([][]float64{{1}, {2}}, make([]float64, 1)); err == nil {
+		t.Error("PredictBatch on nil tree: expected error, got nil")
+	}
+	if err := tree.PredictBatch([][]float64{{1}}, make([]float64, 1)); err == nil {
+		t.Error("PredictBatch with wrong column count: expected error, got nil")
+	}
+	if err := tree.PredictBatch([][]float64{{1, 2}, {3}}, make([]float64, 2)); err == nil {
+		t.Error("PredictBatch with ragged columns: expected error, got nil")
+	}
+	if err := tree.PredictBatch([][]float64{{1, 2}, {3, 4}}, make([]float64, 3)); err == nil {
+		t.Error("PredictBatch with short columns: expected error, got nil")
+	}
+}
+
+func TestPredictBatchZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	features := make([][]float64, 64)
+	targets := make([]float64, 64)
+	for i := range features {
+		features[i] = []float64{rng.Float64() * 10, float64(rng.Intn(4))}
+		targets[i] = rng.NormFloat64()
+	}
+	tree, err := Train(features, targets, Params{}, nil)
+	if err != nil {
+		t.Fatalf("Train error: %v", err)
+	}
+	cols := transpose(features)
+	out := make([]float64, len(features))
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := tree.PredictBatch(cols, out); err != nil {
+			t.Fatalf("PredictBatch error: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("PredictBatch allocations per sweep = %v, want 0", allocs)
+	}
+}

@@ -122,6 +122,11 @@ type TunerConfig struct {
 	// lookahead >= 2 path search and restores the exhaustive search (for
 	// ablations; pruning is on by default and deterministic).
 	DisablePruning bool
+	// DisableBatchPredict routes every full-space model sweep through scalar
+	// per-configuration predictions instead of the batch prediction path. The
+	// two paths produce bitwise-identical recommendations (enforced by
+	// tests); the knob exists for that proof and for ablations.
+	DisableBatchPredict bool
 }
 
 // NewTuner creates a Lynceus tuner.
@@ -137,12 +142,13 @@ func NewTuner(cfg TunerConfig) (Optimizer, error) {
 		return nil, fmt.Errorf("lynceus: negative lookahead %d", cfg.Lookahead)
 	}
 	params := core.Params{
-		Lookahead:      lookahead,
-		Discount:       cfg.Discount,
-		GHOrder:        cfg.GHOrder,
-		Model:          bagging.Params{NumTrees: cfg.EnsembleTrees},
-		Workers:        cfg.Workers,
-		DisablePruning: cfg.DisablePruning,
+		Lookahead:           lookahead,
+		Discount:            cfg.Discount,
+		GHOrder:             cfg.GHOrder,
+		Model:               bagging.Params{NumTrees: cfg.EnsembleTrees},
+		Workers:             cfg.Workers,
+		DisablePruning:      cfg.DisablePruning,
+		DisableBatchPredict: cfg.DisableBatchPredict,
 	}
 	switch cfg.CostModel {
 	case "", string(model.KindBagging):

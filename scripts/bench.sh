@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# bench.sh — run the tracked benchmark set and emit machine-readable results.
+#
+# Usage:
+#   scripts/bench.sh                 # writes BENCH.json in the repo root
+#   BENCH_PATTERN=. BENCH_TIME=1x \
+#   scripts/bench.sh out.json        # CI smoke: every benchmark, one iteration
+#
+# The default set is the perf-tracked pair reported in README "Performance":
+# the LA=2 planner on the 384-point Tensorflow space and the ensemble
+# fit+full-space-sweep microbenchmark. BENCH.json is committed as the perf
+# baseline; regenerate it on comparable idle hardware before updating it.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH.json}"
+PATTERN="${BENCH_PATTERN:-BenchmarkPlannerLA2Tensorflow|BenchmarkEnsembleFitPredict|BenchmarkFullSpaceSweep}"
+BENCHTIME="${BENCH_TIME:-1s}"
+
+# Capture the bench output before converting it: piping go test straight into
+# benchjson would swallow its exit status under POSIX sh (no pipefail), and a
+# broken benchmark must fail this script (CI relies on that).
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+if ! go test -run 'XXX' -bench "$PATTERN" -benchtime "$BENCHTIME" . > "$RAW"; then
+	cat "$RAW" >&2
+	echo "bench.sh: go test -bench failed" >&2
+	exit 1
+fi
+cat "$RAW"
+go run ./cmd/benchjson -out "$OUT" < "$RAW"
+echo "wrote $OUT"
