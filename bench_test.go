@@ -156,6 +156,55 @@ func BenchmarkPlannerLA2Tensorflow(b *testing.B) {
 	}
 }
 
+// BenchmarkLargeSpaceDecision measures the per-decision planning time of the
+// sampled search strategy as the configuration space grows: 15k, 61k and
+// 246k-point streaming large-grid spaces, all planned with the same
+// 256-candidate subsample. The whole pipeline is space-size free — candidate
+// selection is O(sample), model memos and batch prefills are sized by the
+// candidate set, sweeps are block-wise — so ns/decision must stay roughly
+// flat while the space grows 16x (the acceptance criterion of the
+// candidate-provider refactor; see README "Performance").
+func BenchmarkLargeSpaceDecision(b *testing.B) {
+	for _, clusterSizes := range []int{32, 128, 512} {
+		job, err := SyntheticLargeGridJob("large-etl", clusterSizes, 42)
+		if err != nil {
+			b.Fatalf("SyntheticLargeGridJob: %v", err)
+		}
+		b.Run(fmt.Sprintf("configs=%d", job.Space().Size()), func(b *testing.B) {
+			tmax, meanCost, err := job.ApproxStats(0.5, 1024)
+			if err != nil {
+				b.Fatalf("ApproxStats: %v", err)
+			}
+			const bootstrap = 24
+			opts := Options{
+				Budget:            30 * meanCost,
+				MaxRuntimeSeconds: tmax,
+				BootstrapSize:     bootstrap,
+				Seed:              1,
+			}
+			tuner, err := NewTuner(TunerConfig{
+				Lookahead: 1,
+				Search:    SearchConfig{Strategy: "sampled", SampleSize: 256},
+			})
+			if err != nil {
+				b.Fatalf("NewTuner: %v", err)
+			}
+			b.ResetTimer()
+			decisions := 0
+			for i := 0; i < b.N; i++ {
+				res, err := tuner.Optimize(job, opts)
+				if err != nil {
+					b.Fatalf("Optimize: %v", err)
+				}
+				decisions += res.Explorations - bootstrap
+			}
+			if decisions > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(decisions), "ns/decision")
+			}
+		})
+	}
+}
+
 func BenchmarkTable3NextConfigBO(b *testing.B) {
 	bo, err := NewBOBaseline()
 	if err != nil {

@@ -65,22 +65,23 @@ func (b *BO) Name() string {
 }
 
 // boModels bundles the cost model with one model per extra constraint metric,
-// plus the scratch of the full-space batch prediction sweep: after each fit,
-// every model predicts the whole space in one PredictBatch call over the
-// space's column-major feature matrix, and candidate scoring reads the
-// resulting Gaussians by configuration ID.
+// plus the per-block scratch of the candidate sweep: after each fit, every
+// model predicts the space block by block (configspace.Block views), so no
+// full-space prediction array or monolithic feature matrix is ever
+// materialized — the sweep works identically on materialized and streaming
+// spaces.
 type boModels struct {
 	cost       *bagging.Ensemble
 	extraNames []string
 	extras     []*bagging.Ensemble
 	extraMax   []float64
 
-	cols       [][]float64          // space's column-major feature matrix (read-only)
-	costPreds  []numeric.Gaussian   // costPreds[id]: cost prediction of config id
-	extraPreds [][]numeric.Gaussian // extraPreds[k][id]: k-th constraint metric
+	// Per-block prediction buffers, reused across blocks and refits.
+	costBuf  []numeric.Gaussian
+	extraBuf [][]numeric.Gaussian
 }
 
-func newBOModels(params bagging.Params, space *configspace.Space, opts optimizer.Options) *boModels {
+func newBOModels(params bagging.Params, opts optimizer.Options) *boModels {
 	names := make([]string, 0, len(opts.ExtraConstraints))
 	for _, c := range opts.ExtraConstraints {
 		names = append(names, c.Metric)
@@ -98,37 +99,90 @@ func newBOModels(params bagging.Params, space *configspace.Space, opts optimizer
 		cost:       bagging.New(params, opts.Seed),
 		extraNames: names,
 		extraMax:   maxima,
-		cols:       space.FeatureColumns(),
-		costPreds:  make([]numeric.Gaussian, space.Size()),
 	}
 	m.extras = make([]*bagging.Ensemble, len(names))
-	m.extraPreds = make([][]numeric.Gaussian, len(names))
+	m.extraBuf = make([][]numeric.Gaussian, len(names))
 	for i := range names {
 		m.extras[i] = bagging.New(params, opts.Seed+int64(i+1)*1_000_003)
-		m.extraPreds[i] = make([]numeric.Gaussian, space.Size())
 	}
 	return m
 }
 
-// fit trains every model on the history and refreshes the full-space
-// prediction sweep: one batch prediction per model over the whole space.
+// fit trains every model on the history.
 func (m *boModels) fit(h *optimizer.History) error {
 	features := h.Features()
 	if err := m.cost.Fit(features, h.Costs()); err != nil {
 		return fmt.Errorf("baselines: fitting cost model: %w", err)
 	}
-	if err := m.cost.PredictBatch(m.cols, m.costPreds); err != nil {
-		return fmt.Errorf("baselines: sweeping cost model: %w", err)
-	}
 	for i, name := range m.extraNames {
 		if err := m.extras[i].Fit(features, h.ExtraMetric(name)); err != nil {
 			return fmt.Errorf("baselines: fitting constraint model %q: %w", name, err)
 		}
-		if err := m.extras[i].PredictBatch(m.cols, m.extraPreds[i]); err != nil {
-			return fmt.Errorf("baselines: sweeping constraint model %q: %w", name, err)
-		}
 	}
 	return nil
+}
+
+// boCandidate is one untested configuration surviving the budget-eligibility
+// filter of a sweep, with its per-model predictive distributions.
+type boCandidate struct {
+	id       int
+	costPred numeric.Gaussian
+	extras   []numeric.Gaussian
+}
+
+// sweep predicts the whole space block by block and returns the eligible
+// untested candidates (in increasing ID order) together with the largest
+// predictive standard deviation over all untested configurations (the
+// incumbent-fallback input). Gaussians from the block path are bitwise
+// identical to full-matrix and scalar sweeps, so the selection matches the
+// pre-block-sweep baseline exactly.
+func (m *boModels) sweep(space *configspace.Space, h *optimizer.History, remainingBudget, eligibilityProb float64) ([]boCandidate, float64, error) {
+	eligible := make([]boCandidate, 0, 64)
+	maxStd := 0.0
+	err := space.ForEachBlock(0, func(blk configspace.Block) error {
+		n := blk.Len()
+		if cap(m.costBuf) < n {
+			m.costBuf = make([]numeric.Gaussian, n)
+		}
+		costs := m.costBuf[:n]
+		if err := m.cost.PredictBatch(blk.Cols, costs); err != nil {
+			return fmt.Errorf("baselines: sweeping cost model: %w", err)
+		}
+		for k := range m.extras {
+			if cap(m.extraBuf[k]) < n {
+				m.extraBuf[k] = make([]numeric.Gaussian, n)
+			}
+			if err := m.extras[k].PredictBatch(blk.Cols, m.extraBuf[k][:n]); err != nil {
+				return fmt.Errorf("baselines: sweeping constraint model %q: %w", m.extraNames[k], err)
+			}
+		}
+		for i := 0; i < n; i++ {
+			id := blk.Start + i
+			if h.Tested(id) {
+				continue
+			}
+			costPred := costs[i]
+			if costPred.StdDev > maxStd {
+				maxStd = costPred.StdDev
+			}
+			if costPred.ProbLE(remainingBudget) < eligibilityProb {
+				continue
+			}
+			cand := boCandidate{id: id, costPred: costPred}
+			if len(m.extras) > 0 {
+				cand.extras = make([]numeric.Gaussian, len(m.extras))
+				for k := range m.extras {
+					cand.extras[k] = m.extraBuf[k][i]
+				}
+			}
+			eligible = append(eligible, cand)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return eligible, maxStd, nil
 }
 
 // Optimize implements optimizer.Optimizer.
@@ -155,18 +209,11 @@ func (b *BO) Optimize(env optimizer.Environment, opts optimizer.Options) (optimi
 	}
 
 	space := env.Space()
-	unitPrices := make([]float64, space.Size())
-	for _, cfg := range space.Configs() {
-		price, err := env.UnitPricePerHour(cfg)
-		if err != nil {
-			return optimizer.Result{}, err
-		}
-		unitPrices[cfg.ID] = price
-	}
-	models := newBOModels(b.params.Model, space, opts)
+	prices := optimizer.NewPriceCache(env)
+	models := newBOModels(b.params.Model, opts)
 
 	for {
-		nextID, ok, err := b.nextConfig(space, history, models, unitPrices, budget.Remaining(), opts)
+		nextID, ok, err := b.nextConfig(space, history, models, prices, budget.Remaining(), opts)
 		if err != nil {
 			return optimizer.Result{}, err
 		}
@@ -185,29 +232,20 @@ func (b *BO) Optimize(env optimizer.Environment, opts optimizer.Options) (optimi
 }
 
 // nextConfig selects the untested configuration with the highest acquisition
-// value among those whose predicted cost fits the remaining budget.
-func (b *BO) nextConfig(space *configspace.Space, h *optimizer.History, models *boModels, unitPrices []float64, remainingBudget float64, opts optimizer.Options) (int, bool, error) {
-	untested := h.Untested(space)
-	if len(untested) == 0 {
+// value among those whose predicted cost fits the remaining budget. The
+// candidate predictions come from a block-wise sweep of the space, so the
+// baseline runs unchanged on streaming spaces.
+func (b *BO) nextConfig(space *configspace.Space, h *optimizer.History, models *boModels, prices *optimizer.PriceCache, remainingBudget float64, opts optimizer.Options) (int, bool, error) {
+	if space.Size()-h.Len() <= 0 {
 		return 0, false, nil
 	}
 	if err := models.fit(h); err != nil {
 		return 0, false, err
 	}
 
-	// The models were swept over the whole space at fit time; candidate
-	// scoring is pure memo reads indexed by configuration ID.
-	eligible := make([]configspace.Config, 0, len(untested))
-	maxStd := 0.0
-	for _, cfg := range untested {
-		costPred := models.costPreds[cfg.ID]
-		if costPred.StdDev > maxStd {
-			maxStd = costPred.StdDev
-		}
-		if costPred.ProbLE(remainingBudget) < b.params.EligibilityProb {
-			continue
-		}
-		eligible = append(eligible, cfg)
+	eligible, maxStd, err := models.sweep(space, h, remainingBudget, b.params.EligibilityProb)
+	if err != nil {
+		return 0, false, err
 	}
 	if len(eligible) == 0 {
 		return 0, false, nil
@@ -215,24 +253,28 @@ func (b *BO) nextConfig(space *configspace.Space, h *optimizer.History, models *
 
 	best := incumbent(h, opts, maxStd)
 	scores := make([]acquisition.Score, 0, len(eligible))
-	for _, cfg := range eligible {
-		costPred := models.costPreds[cfg.ID]
+	for _, cand := range eligible {
+		costPred := cand.costPred
 		ei := acquisition.ExpectedImprovement(costPred, best)
 		probs := make([]float64, 0, 1+len(models.extras))
-		runtimeProb, err := acquisition.ConstraintProbability(costPred, opts.MaxRuntimeSeconds, unitPrices[cfg.ID]/3600)
+		price, err := prices.UnitPrice(cand.id)
+		if err != nil {
+			return 0, false, err
+		}
+		runtimeProb, err := acquisition.ConstraintProbability(costPred, opts.MaxRuntimeSeconds, price/3600)
 		if err != nil {
 			return 0, false, err
 		}
 		probs = append(probs, runtimeProb)
 		for i := range models.extras {
-			probs = append(probs, clampProb(models.extraPreds[i][cfg.ID].ProbLE(models.extraMax[i])))
+			probs = append(probs, clampProb(cand.extras[i].ProbLE(models.extraMax[i])))
 		}
 		eic, err := acquisition.Constrained(ei, probs...)
 		if err != nil {
 			return 0, false, err
 		}
 		scores = append(scores, acquisition.Score{
-			ConfigID:     cfg.ID,
+			ConfigID:     cand.id,
 			Pred:         costPred,
 			EI:           ei,
 			ProbFeasible: runtimeProb,
@@ -241,7 +283,6 @@ func (b *BO) nextConfig(space *configspace.Space, h *optimizer.History, models *
 	}
 
 	var idx int
-	var err error
 	if b.params.CostNormalized {
 		idx, err = acquisition.ArgMaxRatio(scores)
 	} else {

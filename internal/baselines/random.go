@@ -48,11 +48,14 @@ func (r *Random) Optimize(env optimizer.Environment, opts optimizer.Options) (op
 
 	space := env.Space()
 	for budget.Remaining() > 0 {
-		untested := history.Untested(space)
+		untested := history.UntestedIDs(space)
 		if len(untested) == 0 {
 			break
 		}
-		cfg := untested[rng.Intn(len(untested))]
+		cfg, err := space.Config(untested[rng.Intn(len(untested))])
+		if err != nil {
+			return optimizer.Result{}, err
+		}
 		if _, err := optimizer.RunTrial(env, cfg, history, budget, opts.SetupCost); err != nil {
 			return optimizer.Result{}, err
 		}

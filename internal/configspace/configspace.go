@@ -2,16 +2,33 @@
 // Lynceus: a configuration is a tuple <N, H, P> of cluster size, hardware
 // type, and job-level parameters (paper §2). A Space is the (optionally
 // filtered) Cartesian product of a set of discrete dimensions.
+//
+// A Space comes in two representations sharing one API:
+//
+//   - materialized (New): every configuration and the column-major feature
+//     matrix are built up front. Right for the paper-scale spaces (hundreds of
+//     points), where full-space model sweeps dominate and the matrix is the
+//     fast path.
+//   - streaming (NewStreaming): configurations are decoded on demand from the
+//     dimension cross-product and full-space consumers iterate block-wise
+//     feature views (ForEachBlock). Right for production-scale spaces (10^5+
+//     points), which must never be held in memory as one monolithic slice.
 package configspace
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 )
 
 // ErrEmptySpace is returned when a space would contain no configuration.
 var ErrEmptySpace = errors.New("configspace: space contains no configuration")
+
+// MaxMaterializedSize bounds the number of configurations New will materialize
+// eagerly. Larger spaces must use NewStreaming, which holds no per-config
+// storage.
+const MaxMaterializedSize = 1 << 21
 
 // Dimension is one axis of the configuration space: an ordered list of the
 // discrete numeric values the axis can take. Labels, when present, provide a
@@ -79,36 +96,58 @@ func (c Config) Clone() Config {
 // keeps every combination.
 type Filter func(indices []int) bool
 
-// Space is a finite, enumerated configuration space.
+// Space is a finite configuration space: the (optionally filtered) Cartesian
+// product of its dimensions, with configurations identified by dense IDs in
+// lexicographic order of their index vectors. Depending on the constructor
+// the space is either materialized (every Config and the column-major feature
+// matrix held in memory) or streaming (configurations decoded on demand).
 type Space struct {
-	dims    []Dimension
-	configs []Config
+	dims []Dimension
 
+	// Materialized representation (New); nil for streaming spaces.
+	configs []Config
 	// cols is the column-major feature matrix of the whole space:
 	// cols[d][id] is feature d of the configuration with the given ID. It is
 	// built once by New and shared read-only by every full-space batch
 	// prediction sweep, so fits and sweeps never rebuild features.
 	cols [][]float64
+
+	// Streaming representation (NewStreaming).
+	streaming bool
+	total     int   // number of configurations in the space
+	strides   []int // strides[d]: flat-index stride of dimension d
+	// accepted holds the sorted flat cross-product indices kept by the
+	// filter; nil when the space is the unfiltered cross-product (the common
+	// production case), in which case ID == flat index.
+	accepted []int64
 }
 
-// New builds a Space from the Cartesian product of dims, restricted by
-// filter. The resulting configurations are assigned dense IDs in
-// lexicographic order of their index vectors.
-func New(dims []Dimension, filter Filter) (*Space, error) {
+// validateDims checks the dimension list shared by both constructors and
+// returns the total cross-product size, guarding the product against int
+// overflow.
+func validateDims(dims []Dimension) (int, error) {
 	if len(dims) == 0 {
-		return nil, errors.New("configspace: space requires at least one dimension")
+		return 0, errors.New("configspace: space requires at least one dimension")
 	}
 	names := make(map[string]struct{}, len(dims))
+	total := 1
 	for _, d := range dims {
 		if err := d.Validate(); err != nil {
-			return nil, err
+			return 0, err
 		}
 		if _, dup := names[d.Name]; dup {
-			return nil, fmt.Errorf("configspace: duplicate dimension name %q", d.Name)
+			return 0, fmt.Errorf("configspace: duplicate dimension name %q", d.Name)
 		}
 		names[d.Name] = struct{}{}
+		if total > math.MaxInt/len(d.Values) {
+			return 0, fmt.Errorf("configspace: cross-product size overflows int at dimension %q", d.Name)
+		}
+		total *= len(d.Values)
 	}
+	return total, nil
+}
 
+func copyDims(dims []Dimension) []Dimension {
 	copied := make([]Dimension, len(dims))
 	for i, d := range dims {
 		copied[i] = Dimension{
@@ -117,8 +156,66 @@ func New(dims []Dimension, filter Filter) (*Space, error) {
 			Labels: append([]string(nil), d.Labels...),
 		}
 	}
+	return copied
+}
 
-	s := &Space{dims: copied}
+// dimStrides returns the mixed-radix strides of the dimensions: the flat
+// cross-product index of an index vector is sum(indices[d] * strides[d]).
+func dimStrides(dims []Dimension) []int {
+	strides := make([]int, len(dims))
+	stride := 1
+	for d := len(dims) - 1; d >= 0; d-- {
+		strides[d] = stride
+		stride *= len(dims[d].Values)
+	}
+	return strides
+}
+
+// advanceIndices increments a mixed-radix counter over the dimensions'
+// value indices (lexicographic order) and reports whether it wrapped around
+// past the last combination.
+func advanceIndices(indices []int, dims []Dimension) (wrapped bool) {
+	for d := len(indices) - 1; d >= 0; d-- {
+		indices[d]++
+		if indices[d] < len(dims[d].Values) {
+			return false
+		}
+		indices[d] = 0
+	}
+	return true
+}
+
+// searchAccepted returns the rank of the first accepted flat index >= flat
+// (the lower-bound position in the sorted accepted slice).
+func (s *Space) searchAccepted(flat int64) int {
+	lo, hi := 0, len(s.accepted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.accepted[mid] < flat {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// New builds a materialized Space from the Cartesian product of dims,
+// restricted by filter. The resulting configurations are assigned dense IDs
+// in lexicographic order of their index vectors. Spaces larger than
+// MaxMaterializedSize are rejected; use NewStreaming for those.
+func New(dims []Dimension, filter Filter) (*Space, error) {
+	total, err := validateDims(dims)
+	if err != nil {
+		return nil, err
+	}
+	if total > MaxMaterializedSize {
+		return nil, fmt.Errorf("configspace: cross-product has %d combinations, above the %d materialization limit (use NewStreaming)",
+			total, MaxMaterializedSize)
+	}
+
+	copied := copyDims(dims)
+	s := &Space{dims: copied, strides: dimStrides(copied)}
 	indices := make([]int, len(copied))
 	for {
 		if filter == nil || filter(append([]int(nil), indices...)) {
@@ -132,23 +229,14 @@ func New(dims []Dimension, filter Filter) (*Space, error) {
 			}
 			s.configs = append(s.configs, cfg)
 		}
-		// Advance the mixed-radix counter.
-		d := len(copied) - 1
-		for d >= 0 {
-			indices[d]++
-			if indices[d] < len(copied[d].Values) {
-				break
-			}
-			indices[d] = 0
-			d--
-		}
-		if d < 0 {
+		if advanceIndices(indices, copied) {
 			break
 		}
 	}
 	if len(s.configs) == 0 {
-		return nil, ErrEmptySpace
+		return nil, fmt.Errorf("configspace: filter rejected all %d combinations of the cross-product: %w", total, ErrEmptySpace)
 	}
+	s.total = len(s.configs)
 	flat := make([]float64, len(copied)*len(s.configs))
 	s.cols = make([][]float64, len(copied))
 	for d := range s.cols {
@@ -160,23 +248,57 @@ func New(dims []Dimension, filter Filter) (*Space, error) {
 	return s, nil
 }
 
+// NewStreaming builds a streaming Space over the Cartesian product of dims,
+// restricted by filter. No per-configuration storage is kept: configurations
+// are decoded on demand from their dense ID, and full-space consumers iterate
+// the space block-wise (ForEachBlock). A filtered streaming space stores one
+// int64 per kept combination (the sorted flat indices); an unfiltered one
+// stores nothing but the dimensions.
+func NewStreaming(dims []Dimension, filter Filter) (*Space, error) {
+	total, err := validateDims(dims)
+	if err != nil {
+		return nil, err
+	}
+	copied := copyDims(dims)
+	s := &Space{
+		dims:      copied,
+		streaming: true,
+		strides:   dimStrides(copied),
+		total:     total,
+	}
+	if filter == nil {
+		return s, nil
+	}
+
+	indices := make([]int, len(copied))
+	scratch := make([]int, len(copied))
+	for flat := 0; flat < total; flat++ {
+		copy(scratch, indices)
+		if filter(scratch) {
+			s.accepted = append(s.accepted, int64(flat))
+		}
+		advanceIndices(indices, copied)
+	}
+	if len(s.accepted) == 0 {
+		return nil, fmt.Errorf("configspace: filter rejected all %d combinations of the cross-product: %w", total, ErrEmptySpace)
+	}
+	s.total = len(s.accepted)
+	return s, nil
+}
+
+// Streaming reports whether the space decodes configurations on demand
+// instead of holding them in memory.
+func (s *Space) Streaming() bool { return s.streaming }
+
 // Size returns the number of configurations in the space.
-func (s *Space) Size() int { return len(s.configs) }
+func (s *Space) Size() int { return s.total }
 
 // NumDimensions returns the number of dimensions of the space.
 func (s *Space) NumDimensions() int { return len(s.dims) }
 
 // Dimensions returns a copy of the space's dimensions.
 func (s *Space) Dimensions() []Dimension {
-	out := make([]Dimension, len(s.dims))
-	for i, d := range s.dims {
-		out[i] = Dimension{
-			Name:   d.Name,
-			Values: append([]float64(nil), d.Values...),
-			Labels: append([]string(nil), d.Labels...),
-		}
-	}
-	return out
+	return copyDims(s.dims)
 }
 
 // Dimension returns the d-th dimension.
@@ -191,37 +313,112 @@ func (s *Space) Dimension(d int) (Dimension, error) {
 	}, nil
 }
 
-// Config returns the configuration with the given ID.
-func (s *Space) Config(id int) (Config, error) {
-	if id < 0 || id >= len(s.configs) {
-		return Config{}, fmt.Errorf("configspace: config id %d out of range [0,%d)", id, len(s.configs))
+// flatOf returns the flat cross-product index of the configuration with the
+// given dense ID.
+func (s *Space) flatOf(id int) int {
+	if s.accepted != nil {
+		return int(s.accepted[id])
 	}
-	return s.configs[id].Clone(), nil
+	return id
 }
 
-// Configs returns a copy of every configuration in the space.
+// decodeIndices writes the per-dimension value indices of the given flat
+// cross-product index into dst (which must have NumDimensions entries).
+func (s *Space) decodeIndices(flat int, dst []int) {
+	for d := range s.dims {
+		dst[d] = (flat / s.strides[d]) % len(s.dims[d].Values)
+	}
+}
+
+// Config returns the configuration with the given ID. The returned slices are
+// always owned by the caller.
+func (s *Space) Config(id int) (Config, error) {
+	if id < 0 || id >= s.total {
+		return Config{}, fmt.Errorf("configspace: config id %d out of range [0,%d)", id, s.total)
+	}
+	if !s.streaming {
+		return s.configs[id].Clone(), nil
+	}
+	cfg := Config{
+		ID:       id,
+		Indices:  make([]int, len(s.dims)),
+		Features: make([]float64, len(s.dims)),
+	}
+	s.decodeIndices(s.flatOf(id), cfg.Indices)
+	for d, idx := range cfg.Indices {
+		cfg.Features[d] = s.dims[d].Values[idx]
+	}
+	return cfg, nil
+}
+
+// ConfigView returns the configuration with the given ID without copying
+// when the representation allows it: on materialized spaces the returned
+// Indices and Features alias the space's shared storage and must be treated
+// as read-only; on streaming spaces they are decoded into fresh slices. Use
+// Config when the caller needs owned slices.
+func (s *Space) ConfigView(id int) (Config, error) {
+	if id < 0 || id >= s.total {
+		return Config{}, fmt.Errorf("configspace: config id %d out of range [0,%d)", id, s.total)
+	}
+	if !s.streaming {
+		return s.configs[id], nil
+	}
+	return s.Config(id)
+}
+
+// Configs returns a copy of every configuration in the space. On streaming
+// spaces this materializes the whole space and is meant for tests and small
+// tools only; production sweeps should use ForEachBlock.
 func (s *Space) Configs() []Config {
-	out := make([]Config, len(s.configs))
-	for i, c := range s.configs {
-		out[i] = c.Clone()
+	out := make([]Config, s.total)
+	if !s.streaming {
+		for i, c := range s.configs {
+			out[i] = c.Clone()
+		}
+		return out
+	}
+	for id := range out {
+		cfg, _ := s.Config(id)
+		out[id] = cfg
 	}
 	return out
 }
 
 // IDs returns the IDs of all configurations in the space.
 func (s *Space) IDs() []int {
-	out := make([]int, len(s.configs))
-	for i := range s.configs {
-		out[i] = s.configs[i].ID
+	out := make([]int, s.total)
+	for i := range out {
+		out[i] = i
 	}
 	return out
 }
 
-// Lookup finds the configuration with the given per-dimension indices, or
-// reports that it is not part of the (possibly filtered) space.
-func (s *Space) Lookup(indices []int) (Config, bool) {
+// IDOfIndices returns the dense configuration ID of the given per-dimension
+// value indices, or false when the combination is not part of the (possibly
+// filtered) space. Streaming spaces answer in O(log n); materialized spaces
+// scan.
+func (s *Space) IDOfIndices(indices []int) (int, bool) {
 	if len(indices) != len(s.dims) {
-		return Config{}, false
+		return 0, false
+	}
+	for d, idx := range indices {
+		if idx < 0 || idx >= len(s.dims[d].Values) {
+			return 0, false
+		}
+	}
+	if s.streaming {
+		flat := 0
+		for d, idx := range indices {
+			flat += idx * s.strides[d]
+		}
+		if s.accepted == nil {
+			return flat, true
+		}
+		lo := s.searchAccepted(int64(flat))
+		if lo < len(s.accepted) && s.accepted[lo] == int64(flat) {
+			return lo, true
+		}
+		return 0, false
 	}
 	for _, c := range s.configs {
 		match := true
@@ -232,10 +429,75 @@ func (s *Space) Lookup(indices []int) (Config, bool) {
 			}
 		}
 		if match {
-			return c.Clone(), true
+			return c.ID, true
 		}
 	}
-	return Config{}, false
+	return 0, false
+}
+
+// NearestID returns the ID of the configuration whose flat cross-product
+// index is closest to the given per-dimension index vector: the configuration
+// itself when the combination is part of the space, otherwise the nearest
+// accepted one (ties break toward the lower ID). Samplers use it to map
+// stratified index vectors onto possibly-filtered spaces without enumerating
+// them. Returns false when the indices are out of range.
+func (s *Space) NearestID(indices []int) (int, bool) {
+	if len(indices) != len(s.dims) {
+		return 0, false
+	}
+	flat := 0
+	for d, idx := range indices {
+		if idx < 0 || idx >= len(s.dims[d].Values) {
+			return 0, false
+		}
+		flat += idx * s.strides[d]
+	}
+	if !s.streaming {
+		bestID, bestDist := 0, math.MaxInt
+		for _, c := range s.configs {
+			cf := 0
+			for d, idx := range c.Indices {
+				cf += idx * s.strides[d]
+			}
+			dist := cf - flat
+			if dist < 0 {
+				dist = -dist
+			}
+			if dist < bestDist {
+				bestDist = dist
+				bestID = c.ID
+			}
+		}
+		return bestID, true
+	}
+	if s.accepted == nil {
+		return flat, true
+	}
+	lo := s.searchAccepted(int64(flat))
+	if lo >= len(s.accepted) {
+		return len(s.accepted) - 1, true
+	}
+	if lo == 0 {
+		return 0, true
+	}
+	if int64(flat)-s.accepted[lo-1] <= s.accepted[lo]-int64(flat) {
+		return lo - 1, true
+	}
+	return lo, true
+}
+
+// Lookup finds the configuration with the given per-dimension indices, or
+// reports that it is not part of the (possibly filtered) space.
+func (s *Space) Lookup(indices []int) (Config, bool) {
+	id, ok := s.IDOfIndices(indices)
+	if !ok {
+		return Config{}, false
+	}
+	cfg, err := s.Config(id)
+	if err != nil {
+		return Config{}, false
+	}
+	return cfg, true
 }
 
 // Describe renders the configuration as a human readable string using the
@@ -251,12 +513,51 @@ func (s *Space) Describe(c Config) string {
 	return strings.Join(parts, " ")
 }
 
+// RowFeatures returns the feature vector of the configuration with the given
+// ID. On materialized spaces the returned slice is the space's shared storage
+// and must be treated as read-only — candidates reference it instead of
+// copying. On streaming spaces the vector is decoded into a fresh slice; use
+// AppendFeatures to decode into caller-owned storage instead.
+func (s *Space) RowFeatures(id int) ([]float64, error) {
+	if id < 0 || id >= s.total {
+		return nil, fmt.Errorf("configspace: config id %d out of range [0,%d)", id, s.total)
+	}
+	if !s.streaming {
+		return s.configs[id].Features, nil
+	}
+	out := make([]float64, len(s.dims))
+	return s.appendFeatures(out[:0], id), nil
+}
+
+// AppendFeatures appends the feature vector of the configuration with the
+// given ID to dst and returns the extended slice. It lets callers batch many
+// decoded rows into one arena without per-row allocations.
+func (s *Space) AppendFeatures(dst []float64, id int) ([]float64, error) {
+	if id < 0 || id >= s.total {
+		return dst, fmt.Errorf("configspace: config id %d out of range [0,%d)", id, s.total)
+	}
+	if !s.streaming {
+		return append(dst, s.configs[id].Features...), nil
+	}
+	return s.appendFeatures(dst, id), nil
+}
+
+func (s *Space) appendFeatures(dst []float64, id int) []float64 {
+	flat := s.flatOf(id)
+	for d := range s.dims {
+		idx := (flat / s.strides[d]) % len(s.dims[d].Values)
+		dst = append(dst, s.dims[d].Values[idx])
+	}
+	return dst
+}
+
 // FeatureColumns returns the column-major feature matrix of the space:
 // FeatureColumns()[d][id] is feature d of the configuration with the given
-// ID. The matrix is built once when the space is created and the returned
-// slices are shared, not copied — callers must treat them as read-only. It is
-// the input of the batch prediction path (regtree/bagging/gp PredictBatch),
-// which sweeps the whole space per planning decision.
+// ID. The matrix is built once when a materialized space is created and the
+// returned slices are shared, not copied — callers must treat them as
+// read-only. It is the input of the full-space batch prediction path
+// (regtree/bagging/gp PredictBatch). Streaming spaces have no monolithic
+// matrix and return nil; block-wise consumers use ForEachBlock instead.
 func (s *Space) FeatureColumns() [][]float64 { return s.cols }
 
 // FeatureNames returns the dimension names in feature-vector order.
@@ -266,4 +567,95 @@ func (s *Space) FeatureNames() []string {
 		out[i] = d.Name
 	}
 	return out
+}
+
+// DefaultBlockSize is the block length used by ForEachBlock when the caller
+// passes a non-positive size: large enough to amortize per-block overhead in
+// batch prediction sweeps, small enough that a block of a wide space stays in
+// cache.
+const DefaultBlockSize = 4096
+
+// Block is a contiguous run of configurations of a Space presented as a
+// column-major feature view: Cols[d][i] is feature d of the configuration
+// with ID Start+i. Blocks handed to ForEachBlock callbacks are read-only and
+// only valid for the duration of the callback (streaming spaces reuse one
+// decode buffer across blocks).
+type Block struct {
+	Start int
+	Cols  [][]float64
+}
+
+// Len returns the number of configurations in the block.
+func (b Block) Len() int {
+	if len(b.Cols) == 0 {
+		return 0
+	}
+	return len(b.Cols[0])
+}
+
+// ForEachBlock invokes fn over consecutive blocks of at most blockSize
+// configurations covering the whole space in increasing ID order. A
+// non-positive blockSize selects DefaultBlockSize. Materialized spaces hand
+// out zero-copy views of the cached feature matrix; streaming spaces decode
+// each block into a buffer reused across callbacks. fn errors abort the
+// iteration.
+func (s *Space) ForEachBlock(blockSize int, fn func(Block) error) error {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	if !s.streaming {
+		view := make([][]float64, len(s.cols))
+		for start := 0; start < s.total; start += blockSize {
+			end := start + blockSize
+			if end > s.total {
+				end = s.total
+			}
+			for d, col := range s.cols {
+				view[d] = col[start:end]
+			}
+			if err := fn(Block{Start: start, Cols: view}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if blockSize > s.total {
+		blockSize = s.total
+	}
+	buf := make([]float64, len(s.dims)*blockSize)
+	cols := make([][]float64, len(s.dims))
+	indices := make([]int, len(s.dims))
+	for start := 0; start < s.total; start += blockSize {
+		end := start + blockSize
+		if end > s.total {
+			end = s.total
+		}
+		n := end - start
+		for d := range cols {
+			cols[d] = buf[d*blockSize : d*blockSize+n]
+		}
+		if s.accepted == nil {
+			// Unfiltered: advance a mixed-radix counter across the block
+			// instead of div/mod-decoding every ID.
+			s.decodeIndices(start, indices)
+			for i := 0; i < n; i++ {
+				for d, idx := range indices {
+					cols[d][i] = s.dims[d].Values[idx]
+				}
+				advanceIndices(indices, s.dims)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				flat := int(s.accepted[start+i])
+				for d := range s.dims {
+					cols[d][i] = s.dims[d].Values[(flat/s.strides[d])%len(s.dims[d].Values)]
+				}
+			}
+		}
+		if err := fn(Block{Start: start, Cols: cols}); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,0 +1,274 @@
+package configspace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func testDims() []Dimension {
+	return []Dimension{
+		{Name: "a", Values: []float64{0, 1, 2}},
+		{Name: "b", Values: []float64{10, 20}},
+		{Name: "c", Values: []float64{0.5, 1.5, 2.5, 3.5}},
+	}
+}
+
+// evenFilter keeps index vectors whose component sum is even.
+func evenFilter(indices []int) bool {
+	sum := 0
+	for _, i := range indices {
+		sum += i
+	}
+	return sum%2 == 0
+}
+
+// TestStreamingMatchesMaterialized pins the contract between the two
+// representations: identical sizes, configurations, feature rows, lookups and
+// block views for the same dimensions and filter.
+func TestStreamingMatchesMaterialized(t *testing.T) {
+	for _, filter := range []Filter{nil, evenFilter} {
+		eager, err := New(testDims(), filter)
+		if err != nil {
+			t.Fatalf("New error: %v", err)
+		}
+		stream, err := NewStreaming(testDims(), filter)
+		if err != nil {
+			t.Fatalf("NewStreaming error: %v", err)
+		}
+		if !stream.Streaming() || eager.Streaming() {
+			t.Fatal("Streaming() flags wrong")
+		}
+		if eager.Size() != stream.Size() {
+			t.Fatalf("sizes differ: %d vs %d", eager.Size(), stream.Size())
+		}
+		for id := 0; id < eager.Size(); id++ {
+			a, err := eager.Config(id)
+			if err != nil {
+				t.Fatalf("eager Config(%d): %v", id, err)
+			}
+			b, err := stream.Config(id)
+			if err != nil {
+				t.Fatalf("streaming Config(%d): %v", id, err)
+			}
+			if a.ID != b.ID || len(a.Indices) != len(b.Indices) {
+				t.Fatalf("config %d differs: %+v vs %+v", id, a, b)
+			}
+			for d := range a.Indices {
+				if a.Indices[d] != b.Indices[d] || a.Features[d] != b.Features[d] {
+					t.Fatalf("config %d dim %d differs: %+v vs %+v", id, d, a, b)
+				}
+			}
+			// Lookup round-trips on both representations.
+			if got, ok := stream.IDOfIndices(a.Indices); !ok || got != id {
+				t.Fatalf("streaming IDOfIndices(%v) = %d, %v, want %d", a.Indices, got, ok, id)
+			}
+			if got, ok := eager.IDOfIndices(a.Indices); !ok || got != id {
+				t.Fatalf("eager IDOfIndices(%v) = %d, %v, want %d", a.Indices, got, ok, id)
+			}
+			row, err := stream.RowFeatures(id)
+			if err != nil {
+				t.Fatalf("RowFeatures(%d): %v", id, err)
+			}
+			for d := range row {
+				if row[d] != a.Features[d] {
+					t.Fatalf("RowFeatures(%d) = %v, want %v", id, row, a.Features)
+				}
+			}
+		}
+	}
+}
+
+// TestForEachBlockCoversSpace checks block iteration on both representations
+// and at block sizes below, at, and above the space size — including a
+// streaming space with a filter.
+func TestForEachBlockCoversSpace(t *testing.T) {
+	for _, filter := range []Filter{nil, evenFilter} {
+		for _, build := range []func([]Dimension, Filter) (*Space, error){New, NewStreaming} {
+			s, err := build(testDims(), filter)
+			if err != nil {
+				t.Fatalf("constructor error: %v", err)
+			}
+			for _, blockSize := range []int{1, 3, s.Size(), s.Size() + 100, 0} {
+				covered := 0
+				err := s.ForEachBlock(blockSize, func(b Block) error {
+					if b.Start != covered {
+						t.Fatalf("block starts at %d, want %d", b.Start, covered)
+					}
+					if len(b.Cols) != s.NumDimensions() {
+						t.Fatalf("block has %d columns, want %d", len(b.Cols), s.NumDimensions())
+					}
+					for i := 0; i < b.Len(); i++ {
+						cfg, err := s.Config(b.Start + i)
+						if err != nil {
+							return err
+						}
+						for d := range b.Cols {
+							if b.Cols[d][i] != cfg.Features[d] {
+								t.Fatalf("block feature [%d][%d] = %v, want %v",
+									d, i, b.Cols[d][i], cfg.Features[d])
+							}
+						}
+					}
+					covered += b.Len()
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("ForEachBlock error: %v", err)
+				}
+				if covered != s.Size() {
+					t.Fatalf("blocks covered %d configs, want %d", covered, s.Size())
+				}
+			}
+		}
+	}
+}
+
+// TestSingleConfigSpace pins the smallest edge case on both representations.
+func TestSingleConfigSpace(t *testing.T) {
+	dims := []Dimension{{Name: "only", Values: []float64{42}}}
+	for _, build := range []func([]Dimension, Filter) (*Space, error){New, NewStreaming} {
+		s, err := build(dims, nil)
+		if err != nil {
+			t.Fatalf("constructor error: %v", err)
+		}
+		if s.Size() != 1 {
+			t.Fatalf("size = %d, want 1", s.Size())
+		}
+		blocks := 0
+		if err := s.ForEachBlock(1000, func(b Block) error {
+			blocks++
+			if b.Len() != 1 || b.Cols[0][0] != 42 {
+				t.Fatalf("unexpected block %+v", b)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("ForEachBlock error: %v", err)
+		}
+		if blocks != 1 {
+			t.Fatalf("blocks = %d, want 1", blocks)
+		}
+	}
+}
+
+// TestFilterRejectsAllIsClearError requires both constructors to surface the
+// rejected-everything case as ErrEmptySpace with the combination count.
+func TestFilterRejectsAllIsClearError(t *testing.T) {
+	reject := func([]int) bool { return false }
+	for _, build := range []func([]Dimension, Filter) (*Space, error){New, NewStreaming} {
+		_, err := build(testDims(), reject)
+		if !errors.Is(err, ErrEmptySpace) {
+			t.Fatalf("error = %v, want ErrEmptySpace", err)
+		}
+		if !strings.Contains(err.Error(), "24 combinations") {
+			t.Errorf("error %q does not name the rejected combination count", err)
+		}
+	}
+}
+
+// TestCrossProductOverflowGuard requires both constructors to reject
+// dimension products that overflow int instead of wrapping silently.
+func TestCrossProductOverflowGuard(t *testing.T) {
+	values := make([]float64, 1<<16)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	dims := []Dimension{
+		{Name: "a", Values: values},
+		{Name: "b", Values: values},
+		{Name: "c", Values: values},
+		{Name: "d", Values: values},
+	}
+	for _, build := range []func([]Dimension, Filter) (*Space, error){New, NewStreaming} {
+		_, err := build(dims, nil)
+		if err == nil || !strings.Contains(err.Error(), "overflow") {
+			t.Fatalf("error = %v, want overflow guard", err)
+		}
+	}
+}
+
+// TestMaterializationLimit: New refuses spaces above MaxMaterializedSize and
+// points at NewStreaming, which handles them without materializing.
+func TestMaterializationLimit(t *testing.T) {
+	values := make([]float64, 1500)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	dims := []Dimension{
+		{Name: "a", Values: values},
+		{Name: "b", Values: values},
+	}
+	if _, err := New(dims, nil); err == nil || !strings.Contains(err.Error(), "NewStreaming") {
+		t.Fatalf("New error = %v, want materialization-limit error naming NewStreaming", err)
+	}
+	s, err := NewStreaming(dims, nil)
+	if err != nil {
+		t.Fatalf("NewStreaming error: %v", err)
+	}
+	if s.Size() != 1500*1500 {
+		t.Fatalf("size = %d, want %d", s.Size(), 1500*1500)
+	}
+	cfg, err := s.Config(s.Size() - 1)
+	if err != nil {
+		t.Fatalf("Config error: %v", err)
+	}
+	if cfg.Features[0] != 1499 || cfg.Features[1] != 1499 {
+		t.Fatalf("last config = %+v", cfg)
+	}
+}
+
+// TestAppendFeaturesArena checks arena decoding against Config on a filtered
+// streaming space.
+func TestAppendFeaturesArena(t *testing.T) {
+	s, err := NewStreaming(testDims(), evenFilter)
+	if err != nil {
+		t.Fatalf("NewStreaming error: %v", err)
+	}
+	arena := make([]float64, 0, s.Size()*s.NumDimensions())
+	for id := 0; id < s.Size(); id++ {
+		var err error
+		arena, err = s.AppendFeatures(arena, id)
+		if err != nil {
+			t.Fatalf("AppendFeatures(%d): %v", id, err)
+		}
+	}
+	for id := 0; id < s.Size(); id++ {
+		cfg, err := s.Config(id)
+		if err != nil {
+			t.Fatalf("Config(%d): %v", id, err)
+		}
+		row := arena[id*s.NumDimensions() : (id+1)*s.NumDimensions()]
+		for d := range row {
+			if row[d] != cfg.Features[d] {
+				t.Fatalf("arena row %d = %v, want %v", id, row, cfg.Features)
+			}
+		}
+	}
+}
+
+// TestNearestIDFiltered checks nearest-ID mapping on a filtered streaming
+// space: members map to themselves, non-members to an adjacent accepted
+// combination.
+func TestNearestIDFiltered(t *testing.T) {
+	s, err := NewStreaming(testDims(), evenFilter)
+	if err != nil {
+		t.Fatalf("NewStreaming error: %v", err)
+	}
+	for id := 0; id < s.Size(); id++ {
+		cfg, err := s.Config(id)
+		if err != nil {
+			t.Fatalf("Config(%d): %v", id, err)
+		}
+		if got, ok := s.NearestID(cfg.Indices); !ok || got != id {
+			t.Fatalf("NearestID(%v) = %d, %v, want %d", cfg.Indices, got, ok, id)
+		}
+	}
+	// An odd-sum combination is not in the space; its nearest neighbour must
+	// be a valid ID.
+	if id, ok := s.NearestID([]int{0, 0, 1}); !ok || id < 0 || id >= s.Size() {
+		t.Fatalf("NearestID on non-member = %d, %v", id, ok)
+	}
+	if _, ok := s.NearestID([]int{9, 9, 9}); ok {
+		t.Fatal("NearestID accepted out-of-range indices")
+	}
+}

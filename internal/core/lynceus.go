@@ -49,6 +49,14 @@ type Params struct {
 	// ensemble built from Model (the paper's default). A Gaussian-Process
 	// factory can be supplied to reproduce the footnote-1 variant.
 	ModelFactory model.Factory
+	// Search selects which untested configurations the planner considers at
+	// each decision. nil resolves per space: Exhaustive (the paper's
+	// behavior, bitwise-identical recommendations to the pre-strategy
+	// planner) for spaces up to DefaultAutoSampleThreshold configurations,
+	// Sampled (deterministic seeded subsampling, bounded per-decision cost)
+	// above it. Strategies must be deterministic and worker-count
+	// independent; see SearchStrategy.
+	Search SearchStrategy
 	// Workers bounds the number of exploration paths evaluated concurrently;
 	// 0 uses GOMAXPROCS. The recommendation is independent of the worker
 	// count: every path evaluation owns a scratch model whose random stream
@@ -168,9 +176,15 @@ func (l *Lynceus) Optimize(env optimizer.Environment, opts optimizer.Options) (o
 }
 
 // candidate is one untested configuration together with the a-priori known
-// information needed to score it.
+// information needed to score it. id is the configuration's ID within the
+// space; slot is its dense index within the decision's active candidate set,
+// which keys the prediction memos (so memo size tracks the candidate set, not
+// the space). features alias the space's shared storage on materialized
+// spaces and the planner's decode arena on streaming spaces — read-only
+// either way.
 type candidate struct {
 	id            int
+	slot          int
 	features      []float64
 	unitPriceHour float64
 }

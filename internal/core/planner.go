@@ -14,48 +14,126 @@ import (
 // planner implements the configuration-selection logic of Algorithms 1 and 2:
 // it turns the optimizer's history into speculation states and simulates
 // exploration paths to score every eligible candidate.
+//
+// The planner never materializes the configuration space. Each decision asks
+// the SearchStrategy for the candidate IDs to consider, gathers them into an
+// active candidate set (features aliasing the space's shared storage on
+// materialized spaces, or decoded into a reusable arena on streaming spaces),
+// and keys every model memo by the candidate's dense slot within that set —
+// so memory and sweep cost scale with the candidate set, not the space.
 type planner struct {
-	params     Params
-	opts       optimizer.Options
-	space      *configspace.Space
-	candidates []candidate          // indexed by configuration ID
-	configs    []configspace.Config // indexed by configuration ID
-	cols       [][]float64          // space's column-major feature matrix (read-only)
-	factory    model.Factory
-	iteration  int
+	params    Params
+	opts      optimizer.Options
+	space     *configspace.Space
+	strategy  SearchStrategy
+	factory   model.Factory
+	iteration int
+
+	// prices lazily memoizes unit prices per candidate, so huge spaces never
+	// pay a full-space price sweep at planner creation.
+	prices *optimizer.PriceCache
+
+	// Per-decision scratch rebuilt by nextConfig; read-only during the
+	// parallel path-evaluation fan-out.
+	featArena  []float64            // backing store of streaming-space candidate features
+	colsBuf    []float64            // backing store of the slot-major feature matrix
+	activeCols [][]float64          // activeCols[d][slot]: feature d of the active candidate in that slot
+	activeCfgs []configspace.Config // decoded configs of active candidates (built only when SetupCost is set)
 }
 
 func newPlanner(params Params, env optimizer.Environment, opts optimizer.Options) (*planner, error) {
 	space := env.Space()
-	configs := space.Configs()
-	candidates := make([]candidate, len(configs))
-	for i, cfg := range configs {
-		price, err := env.UnitPricePerHour(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("core: unit price of config %d: %w", cfg.ID, err)
-		}
-		if price <= 0 {
-			return nil, fmt.Errorf("core: non-positive unit price %v for config %d", price, cfg.ID)
-		}
-		candidates[i] = candidate{
-			id:            cfg.ID,
-			features:      append([]float64(nil), cfg.Features...),
-			unitPriceHour: price,
-		}
-	}
 	factory := params.ModelFactory
 	if factory == nil {
 		factory = model.NewBaggingFactory(params.Model, opts.Seed)
 	}
 	return &planner{
-		params:     params,
-		opts:       opts,
-		space:      space,
-		candidates: candidates,
-		configs:    configs,
-		cols:       space.FeatureColumns(),
-		factory:    factory,
+		params:   params,
+		opts:     opts,
+		space:    space,
+		strategy: resolveStrategy(params.Search, space.Size()),
+		factory:  factory,
+		prices:   optimizer.NewPriceCache(env),
 	}, nil
+}
+
+// gather materializes the active candidate set of one decision: the selected
+// configuration IDs with dense slot indices, feature vectors, and unit
+// prices. On materialized spaces the features alias the space's shared
+// storage (no per-candidate copies); on streaming spaces they are decoded
+// into an arena reused across decisions.
+func (p *planner) gather(ids []int) ([]candidate, error) {
+	cands := make([]candidate, len(ids))
+	streaming := p.space.Streaming()
+	var arena []float64
+	if streaming {
+		need := len(ids) * p.space.NumDimensions()
+		if cap(p.featArena) < need {
+			p.featArena = make([]float64, 0, need)
+		}
+		arena = p.featArena[:0]
+	}
+	for i, id := range ids {
+		price, err := p.prices.UnitPrice(id)
+		if err != nil {
+			return nil, err
+		}
+		var feats []float64
+		if streaming {
+			start := len(arena)
+			arena, err = p.space.AppendFeatures(arena, id)
+			if err != nil {
+				return nil, err
+			}
+			feats = arena[start:len(arena):len(arena)]
+		} else {
+			feats, err = p.space.RowFeatures(id)
+			if err != nil {
+				return nil, err
+			}
+		}
+		cands[i] = candidate{id: id, slot: i, features: feats, unitPriceHour: price}
+	}
+	if streaming {
+		p.featArena = arena
+	}
+	return cands, nil
+}
+
+// gatherCols builds the slot-major column matrix of the active candidates
+// (cols[d][slot]) that batch prefills sweep. The backing store is reused
+// across decisions.
+func (p *planner) gatherCols(cands []candidate) [][]float64 {
+	d := p.space.NumDimensions()
+	n := len(cands)
+	if cap(p.colsBuf) < d*n {
+		p.colsBuf = make([]float64, d*n)
+	}
+	buf := p.colsBuf[:d*n]
+	cols := make([][]float64, d)
+	for k := range cols {
+		cols[k] = buf[k*n : (k+1)*n]
+	}
+	for i, c := range cands {
+		for k := 0; k < d; k++ {
+			cols[k][i] = c.features[k]
+		}
+	}
+	return cols
+}
+
+// candidateConfig returns the full configuration of an active candidate,
+// preferring the per-decision view set over a fresh space lookup. The
+// returned Config may alias the space's shared storage (read-only).
+func (p *planner) candidateConfig(c candidate) configspace.Config {
+	if c.slot >= 0 && c.slot < len(p.activeCfgs) && p.activeCfgs[c.slot].ID == c.id {
+		return p.activeCfgs[c.slot]
+	}
+	cfg, err := p.space.ConfigView(c.id)
+	if err != nil {
+		return configspace.Config{ID: c.id, Features: append([]float64(nil), c.features...)}
+	}
+	return cfg
 }
 
 // constraintNames returns the extra-constraint metric names in a stable order.
@@ -160,17 +238,18 @@ func (ts *trainSet) maxCost() float64 {
 
 // modelSet bundles the cost model with one model per extra constraint metric.
 // Every model is wrapped in a prediction memo keyed by (model generation,
-// configuration ID), so repeated predictions of the same candidate between
-// refits — the planner re-predicts the whole untested set once per
-// speculation layer — cost one lookup instead of one model evaluation.
+// candidate slot), so repeated predictions of the same candidate between
+// refits — the planner re-predicts the whole candidate set once per
+// speculation layer — cost one lookup instead of one model evaluation. Memos
+// are sized by the decision's active candidate count, never by the space.
 type modelSet struct {
 	cost   *model.Cached
 	extras []*model.Cached
 }
 
-// newModelSet creates untrained models on a deterministic random stream.
-func (p *planner) newModelSet(stream int64) *modelSet {
-	size := len(p.configs)
+// newModelSet creates untrained models on a deterministic random stream, with
+// prediction memos covering size candidate slots.
+func (p *planner) newModelSet(stream int64, size int) *modelSet {
 	ms := &modelSet{cost: model.NewCached(p.factory.New(stream), size)}
 	names := p.constraintNames()
 	ms.extras = make([]*model.Cached, len(names))
@@ -211,15 +290,16 @@ func (ms *modelSet) predict(features []float64) (numeric.Gaussian, []numeric.Gau
 	return costPred, extraPreds, nil
 }
 
-// predictCand returns the memoized predictive distributions of a candidate.
+// predictCand returns the memoized predictive distributions of a candidate,
+// keyed by its slot in the decision's active set.
 func (ms *modelSet) predictCand(c candidate) (numeric.Gaussian, []numeric.Gaussian, error) {
-	costPred, err := ms.cost.PredictID(c.id, c.features)
+	costPred, err := ms.cost.PredictID(c.slot, c.features)
 	if err != nil {
 		return numeric.Gaussian{}, nil, err
 	}
 	extraPreds := make([]numeric.Gaussian, len(ms.extras))
 	for k, m := range ms.extras {
-		extraPreds[k], err = m.PredictID(c.id, c.features)
+		extraPreds[k], err = m.PredictID(c.slot, c.features)
 		if err != nil {
 			return numeric.Gaussian{}, nil, err
 		}
@@ -240,12 +320,12 @@ func (ms *modelSet) prefillScalar(cands []candidate, workers int) error {
 	})
 }
 
-// prefillBatch computes the memoized predictions of every configuration of
-// the space in one batch sweep per model over the space's column-major
-// feature matrix. The batch path emits Gaussians bitwise identical to the
-// scalar path, so the memo — and therefore every planning decision — is the
-// same either way; it just stops paying per-call validation, per-tree
-// dispatch, and error wrapping for every swept configuration.
+// prefillBatch computes the memoized predictions of every active candidate in
+// one batch sweep per model over the decision's slot-major feature matrix.
+// The batch path emits Gaussians bitwise identical to the scalar path, so the
+// memo — and therefore every planning decision — is the same either way; it
+// just stops paying per-call validation, per-tree dispatch, and error
+// wrapping for every swept candidate.
 func (ms *modelSet) prefillBatch(cols [][]float64) error {
 	if err := ms.cost.Prefill(cols); err != nil {
 		return fmt.Errorf("core: prefilling cost model: %w", err)
@@ -264,17 +344,18 @@ func (ms *modelSet) prefillBatch(cols [][]float64) error {
 func (ms *modelSet) supportsBatch() bool { return ms.cost.SupportsBatch() }
 
 // refit trains the model set on the training set and, when batch prediction
-// applies, immediately prefills the whole-space prediction memo — every
-// subsequent sweep of the new generation (eligibility, incumbent fallback,
-// EIc) then hits the memo instead of predicting configurations one at a
-// time. Custom factories without a batch path keep PR 1's lazy behavior: the
-// memo fills on first use, one scalar prediction per configuration.
+// applies, immediately prefills the candidate-set prediction memo over the
+// decision's slot-major matrix — every subsequent sweep of the new generation
+// (eligibility, incumbent fallback, EIc) then hits the memo instead of
+// predicting candidates one at a time. Custom factories without a batch path
+// keep the lazy behavior: the memo fills on first use, one scalar prediction
+// per candidate.
 func (p *planner) refit(ms *modelSet, ts *trainSet) error {
 	if err := ms.fit(ts); err != nil {
 		return err
 	}
-	if !p.params.DisableBatchPredict && ms.supportsBatch() {
-		return ms.prefillBatch(p.cols)
+	if !p.params.DisableBatchPredict && ms.supportsBatch() && p.activeCols != nil {
+		return ms.prefillBatch(p.activeCols)
 	}
 	return nil
 }
@@ -283,10 +364,10 @@ func (p *planner) refit(ms *modelSet, ts *trainSet) error {
 // (speculated) training set, the untested configurations, the remaining
 // budget, and the currently deployed configuration.
 type specState struct {
-	train      *trainSet
-	untested   []candidate
-	budget     float64
-	deployedID int // -1 when nothing is deployed
+	train    *trainSet
+	untested []candidate
+	budget   float64
+	deployed *configspace.Config // nil when nothing is deployed
 }
 
 // without returns the untested set minus the given candidate.
@@ -302,16 +383,11 @@ func without(untested []candidate, id int) []candidate {
 
 // setupCost returns the setup cost of switching from the state's deployed
 // configuration to the candidate, if the extension is enabled.
-func (p *planner) setupCost(deployedID int, to candidate) float64 {
+func (p *planner) setupCost(deployed *configspace.Config, to candidate) float64 {
 	if p.opts.SetupCost == nil {
 		return 0
 	}
-	var from *configspace.Config
-	if deployedID >= 0 && deployedID < len(p.configs) {
-		cfg := p.configs[deployedID].Clone()
-		from = &cfg
-	}
-	return p.opts.SetupCost(from, p.configs[to.id])
+	return p.opts.SetupCost(deployed, p.candidateConfig(to))
 }
 
 // feasibleSpeculation reports whether a speculated (cost, extras) outcome for
@@ -452,7 +528,7 @@ func (p *planner) explorePaths(state *specState, models *modelSet, inc float64, 
 	if err != nil {
 		return 0, 0, err
 	}
-	setup := p.setupCost(state.deployedID, cand)
+	setup := p.setupCost(state.deployed, cand)
 	cost = costPred.Mean + setup
 
 	if lookahead == 0 {
@@ -502,6 +578,11 @@ func (p *planner) explorePaths(state *specState, models *modelSet, inc float64, 
 	if len(childUntested) == 0 {
 		return reward, cost, nil
 	}
+	var childDeployed *configspace.Config
+	if p.opts.SetupCost != nil {
+		cfg := p.candidateConfig(cand)
+		childDeployed = &cfg
+	}
 	last := len(childTrain.costs) - 1
 	for _, combo := range combos {
 		specCost := combo.Values[0]
@@ -514,10 +595,10 @@ func (p *planner) explorePaths(state *specState, models *modelSet, inc float64, 
 			childTrain.extras[k][last] = specExtras[k]
 		}
 		childState := &specState{
-			train:      childTrain,
-			untested:   childUntested,
-			budget:     state.budget - specCost - setup,
-			deployedID: cand.id,
+			train:    childTrain,
+			untested: childUntested,
+			budget:   state.budget - specCost - setup,
+			deployed: childDeployed,
 		}
 		if err := p.refit(scratch, childState.train); err != nil {
 			return 0, 0, err
@@ -565,15 +646,16 @@ const (
 	pruneChunkSize = 16
 )
 
-// nextConfig implements Algorithm 1's NextConfig: it scores the exploration
-// paths rooted at every eligible untested configuration and returns the
-// configuration starting the path with the best reward-to-cost ratio.
+// nextConfig implements Algorithm 1's NextConfig: it asks the search strategy
+// for the candidate IDs considered at this decision, scores the exploration
+// paths rooted at every eligible candidate, and returns the configuration
+// starting the path with the best reward-to-cost ratio.
 //
 // The paths are scored concurrently on a worker pool (Params.Workers wide);
-// the root model set is fitted once, its predictions for every untested
-// configuration are precomputed in parallel, and each path evaluation owns a
-// scratch model set on a random stream derived from the candidate ID — so
-// the selected configuration is identical for every worker count.
+// the root model set is fitted once, its predictions for every candidate are
+// precomputed, and each path evaluation owns a scratch model set on a random
+// stream derived from the candidate's configuration ID — so the selected
+// configuration is identical for every worker count.
 func (p *planner) nextConfig(h *optimizer.History, remainingBudget float64) (configspace.Config, bool, error) {
 	extraNames := p.constraintNames()
 	train := newTrainSetFromHistory(h, p.opts, extraNames)
@@ -581,40 +663,63 @@ func (p *planner) nextConfig(h *optimizer.History, remainingBudget float64) (con
 		return configspace.Config{}, false, fmt.Errorf("core: nextConfig called with an empty history")
 	}
 
-	untested := make([]candidate, 0, len(p.candidates))
-	for _, cand := range p.candidates {
-		if !h.Tested(cand.id) {
-			untested = append(untested, cand)
-		}
-	}
-	if len(untested) == 0 {
+	untestedCount := p.space.Size() - h.Len()
+	if untestedCount <= 0 {
 		return configspace.Config{}, false, nil
 	}
+	ids, err := p.strategy.Select(p.space, h.Tested, untestedCount, p.iteration, p.opts.Seed)
+	if err != nil {
+		return configspace.Config{}, false, fmt.Errorf("core: search strategy %q: %w", p.strategy.Name(), err)
+	}
+	if len(ids) == 0 {
+		return configspace.Config{}, false, nil
+	}
+	untested, err := p.gather(ids)
+	if err != nil {
+		return configspace.Config{}, false, err
+	}
+	p.activeCfgs = p.activeCfgs[:0]
+	if p.opts.SetupCost != nil {
+		// Config views, not clones: on materialized spaces the active set
+		// aliases the space's shared Indices/Features rows, matching the
+		// no-copy contract of the candidates themselves.
+		for _, id := range ids {
+			cfg, err := p.space.ConfigView(id)
+			if err != nil {
+				return configspace.Config{}, false, err
+			}
+			p.activeCfgs = append(p.activeCfgs, cfg)
+		}
+	}
 
-	rootModels := p.newModelSet(int64(p.iteration) * 2_000_000_011)
+	rootModels := p.newModelSet(int64(p.iteration)*2_000_000_011, len(untested))
 	p.iteration++
 	// Fit, then populate the root prediction memo up front: every later
 	// root-model prediction (eligibility, incumbent fallback, per-path root
 	// EIc) becomes a read-only lookup, which keeps the shared root model set
 	// race-free during the parallel fan-out. The production path sweeps the
-	// whole space in one batch per model (refit); the scalar reference path
-	// predicts the untested candidates one by one on the worker pool.
+	// candidate set in one batch per model; the scalar reference path
+	// predicts the candidates one by one on the worker pool.
 	if err := rootModels.fit(train); err != nil {
 		return configspace.Config{}, false, err
 	}
 	if p.params.DisableBatchPredict || !rootModels.supportsBatch() {
+		p.activeCols = nil
 		if err := rootModels.prefillScalar(untested, p.params.Workers); err != nil {
 			return configspace.Config{}, false, err
 		}
-	} else if err := rootModels.prefillBatch(p.cols); err != nil {
-		return configspace.Config{}, false, err
+	} else {
+		p.activeCols = p.gatherCols(untested)
+		if err := rootModels.prefillBatch(p.activeCols); err != nil {
+			return configspace.Config{}, false, err
+		}
 	}
 
 	rootState := &specState{
-		train:      train,
-		untested:   untested,
-		budget:     remainingBudget,
-		deployedID: deployedID(h),
+		train:    train,
+		untested: untested,
+		budget:   remainingBudget,
+		deployed: h.Deployed(),
 	}
 
 	eligible, costPreds, extraPreds, err := p.eligible(untested, rootModels, remainingBudget)
@@ -637,8 +742,9 @@ func (p *planner) nextConfig(h *optimizer.History, remainingBudget float64) (con
 
 	deepSearch := p.params.Lookahead >= 2 && !p.params.DisablePruning
 	iteration := p.iteration
+	active := len(untested)
 	evalPath := func(cand candidate) (pathScore, error) {
-		scratch := p.newModelSet(int64(iteration)*4_000_000_007 + int64(cand.id))
+		scratch := p.newModelSet(int64(iteration)*4_000_000_007+int64(cand.id), active)
 		reward, cost, err := p.explorePaths(rootState, rootModels, rootInc, cand, p.params.Lookahead, scratch, extraNames)
 		if err != nil {
 			return pathScore{}, err
@@ -662,7 +768,11 @@ func (p *planner) nextConfig(h *optimizer.History, remainingBudget float64) (con
 	if !ok {
 		return configspace.Config{}, false, nil
 	}
-	return p.configs[bestID].Clone(), true, nil
+	best, err := p.space.Config(bestID)
+	if err != nil {
+		return configspace.Config{}, false, err
+	}
+	return best, true, nil
 }
 
 // prunedScores evaluates the exploration paths of the eligible candidates
@@ -704,7 +814,7 @@ func (p *planner) prunedScores(eligible []candidate, costPreds []numeric.Gaussia
 	costLBs := make([]float64, len(eligible))
 	bounds := make([]float64, len(eligible))
 	for i, cand := range eligible {
-		costLB := costPreds[i].Mean + p.setupCost(rootState.deployedID, cand)
+		costLB := costPreds[i].Mean + p.setupCost(rootState.deployed, cand)
 		if costLB < eps {
 			costLB = eps
 		}
@@ -793,14 +903,4 @@ func (p *planner) prunedScores(eligible []candidate, costPreds []numeric.Gaussia
 		scores = append(scores, batch...)
 	}
 	return scores, nil
-}
-
-// deployedID returns the ID of the configuration currently deployed according
-// to the history, or -1 when none is.
-func deployedID(h *optimizer.History) int {
-	cfg := h.Deployed()
-	if cfg == nil {
-		return -1
-	}
-	return cfg.ID
 }

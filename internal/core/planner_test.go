@@ -28,12 +28,29 @@ func testPlanner(t *testing.T, extra []optimizer.Constraint) (*planner, *optimiz
 	return p, env, opts
 }
 
-func TestNewPlannerCollectsUnitPrices(t *testing.T) {
-	p, env, _ := testPlanner(t, nil)
-	if len(p.candidates) != env.Space().Size() {
-		t.Fatalf("candidates = %d, want %d", len(p.candidates), env.Space().Size())
+// gatherAll returns the planner's active candidate set over every
+// configuration of the space (the Exhaustive selection under an empty
+// history), with slots 0..Size-1.
+func gatherAll(t *testing.T, p *planner) []candidate {
+	t.Helper()
+	ids, err := Exhaustive{}.Select(p.space, func(int) bool { return false }, p.space.Size(), 0, 0)
+	if err != nil {
+		t.Fatalf("Select error: %v", err)
 	}
-	for _, cand := range p.candidates {
+	cands, err := p.gather(ids)
+	if err != nil {
+		t.Fatalf("gather error: %v", err)
+	}
+	return cands
+}
+
+func TestGatherCollectsUnitPricesAndSharesFeatureStorage(t *testing.T) {
+	p, env, _ := testPlanner(t, nil)
+	cands := gatherAll(t, p)
+	if len(cands) != env.Space().Size() {
+		t.Fatalf("candidates = %d, want %d", len(cands), env.Space().Size())
+	}
+	for _, cand := range cands {
 		m, err := env.Job().Measurement(cand.id)
 		if err != nil {
 			t.Fatalf("Measurement error: %v", err)
@@ -43,6 +60,15 @@ func TestNewPlannerCollectsUnitPrices(t *testing.T) {
 		}
 		if len(cand.features) != env.Space().NumDimensions() {
 			t.Errorf("candidate %d features = %v", cand.id, cand.features)
+		}
+		// On materialized spaces candidates must alias the space's shared
+		// feature storage instead of re-copying every row.
+		shared, err := env.Space().RowFeatures(cand.id)
+		if err != nil {
+			t.Fatalf("RowFeatures error: %v", err)
+		}
+		if &cand.features[0] != &shared[0] {
+			t.Fatalf("candidate %d copies its features instead of referencing the space's shared storage", cand.id)
 		}
 	}
 }
@@ -66,7 +92,7 @@ func TestConstraintNamesAreSortedAndMapped(t *testing.T) {
 
 func TestFeasibleSpeculation(t *testing.T) {
 	p, _, opts := testPlanner(t, []optimizer.Constraint{{Metric: "energy", Max: 40}})
-	cand := p.candidates[0]
+	cand := gatherAll(t, p)[0]
 	names := p.constraintNames()
 	// A speculated cost exactly at the runtime threshold is feasible.
 	threshold := opts.MaxRuntimeSeconds * cand.unitPriceHour / 3600
@@ -100,12 +126,12 @@ func TestEligibleFiltersOnBudget(t *testing.T) {
 	}
 	extraNames := p.constraintNames()
 	train := newTrainSetFromHistory(h, opts, extraNames)
-	ms := p.newModelSet(1)
+	ms := p.newModelSet(1, env.Space().Size())
 	if err := ms.fit(train); err != nil {
 		t.Fatalf("fit error: %v", err)
 	}
 	untested := make([]candidate, 0)
-	for _, cand := range p.candidates {
+	for _, cand := range gatherAll(t, p) {
 		if !h.Tested(cand.id) {
 			untested = append(untested, cand)
 		}
@@ -147,17 +173,17 @@ func TestNextStepPrefersHighEIc(t *testing.T) {
 	}
 	extraNames := p.constraintNames()
 	train := newTrainSetFromHistory(h, opts, extraNames)
-	ms := p.newModelSet(2)
+	ms := p.newModelSet(2, env.Space().Size())
 	if err := ms.fit(train); err != nil {
 		t.Fatalf("fit error: %v", err)
 	}
 	untested := make([]candidate, 0)
-	for _, cand := range p.candidates {
+	for _, cand := range gatherAll(t, p) {
 		if !h.Tested(cand.id) {
 			untested = append(untested, cand)
 		}
 	}
-	state := &specState{train: train, untested: untested, budget: 1e9, deployedID: -1}
+	state := &specState{train: train, untested: untested, budget: 1e9}
 	inc, err := p.incumbent(state, ms)
 	if err != nil {
 		t.Fatalf("incumbent error: %v", err)
@@ -191,7 +217,7 @@ func TestNextStepPrefersHighEIc(t *testing.T) {
 	}
 
 	// With a zero budget there is no next step.
-	empty := &specState{train: train, untested: untested, budget: 0, deployedID: -1}
+	empty := &specState{train: train, untested: untested, budget: 0}
 	if _, ok, err := p.nextStep(empty, ms, inc, extraNames); err != nil || ok {
 		t.Errorf("nextStep with zero budget = %v, %v, want not-ok", ok, err)
 	}
@@ -206,12 +232,13 @@ func TestEICUsesFallbackIncumbentWhenNothingFeasible(t *testing.T) {
 		extras:   [][]float64{},
 		feasible: []bool{false, false},
 	}
-	ms := p.newModelSet(5)
+	ms := p.newModelSet(5, p.space.Size())
 	if err := ms.fit(train); err != nil {
 		t.Fatalf("fit error: %v", err)
 	}
-	cand := p.candidates[2]
-	state := &specState{train: train, untested: p.candidates[2:6], budget: 100, deployedID: -1}
+	cands := gatherAll(t, p)
+	cand := cands[2]
+	state := &specState{train: train, untested: cands[2:6], budget: 100}
 	costPred, extraPreds, err := ms.predict(cand.features)
 	if err != nil {
 		t.Fatalf("predict error: %v", err)
@@ -254,10 +281,15 @@ func TestSetupCostHelper(t *testing.T) {
 	if err != nil {
 		t.Fatalf("newPlanner error: %v", err)
 	}
-	if got := p.setupCost(-1, p.candidates[3]); got != 1.5 {
+	cands := gatherAll(t, p)
+	if got := p.setupCost(nil, cands[3]); got != 1.5 {
 		t.Errorf("setup cost from scratch = %v, want 1.5", got)
 	}
-	if got := p.setupCost(2, p.candidates[3]); got != 0.25 {
+	from, err := env.Space().Config(2)
+	if err != nil {
+		t.Fatalf("Config error: %v", err)
+	}
+	if got := p.setupCost(&from, cands[3]); got != 0.25 {
 		t.Errorf("setup cost between configs = %v, want 0.25", got)
 	}
 	if charged != 2 {
@@ -270,14 +302,14 @@ func TestSetupCostHelper(t *testing.T) {
 	if err != nil {
 		t.Fatalf("newPlanner error: %v", err)
 	}
-	if got := p2.setupCost(0, p2.candidates[1]); got != 0 {
+	if got := p2.setupCost(&from, gatherAll(t, p2)[1]); got != 0 {
 		t.Errorf("setup cost without extension = %v, want 0", got)
 	}
 }
 
 func TestWithoutRemovesCandidate(t *testing.T) {
 	p, _, _ := testPlanner(t, nil)
-	subset := p.candidates[:5]
+	subset := gatherAll(t, p)[:5]
 	out := without(subset, subset[2].id)
 	if len(out) != 4 {
 		t.Fatalf("without returned %d candidates, want 4", len(out))
@@ -303,7 +335,7 @@ func TestModelSetPredictShapes(t *testing.T) {
 		extras:   [][]float64{{10, 20, 30}},
 		feasible: []bool{true, true, true},
 	}
-	ms := p.newModelSet(9)
+	ms := p.newModelSet(9, 16)
 	if err := ms.fit(train); err != nil {
 		t.Fatalf("fit error: %v", err)
 	}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/configspace"
+)
+
+func searchSpace(t *testing.T, n int) *configspace.Space {
+	t.Helper()
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	s, err := configspace.NewStreaming([]configspace.Dimension{{Name: "x", Values: values}}, nil)
+	if err != nil {
+		t.Fatalf("NewStreaming error: %v", err)
+	}
+	return s
+}
+
+func TestExhaustiveSelectsAllUntested(t *testing.T) {
+	space := searchSpace(t, 10)
+	tested := map[int]bool{2: true, 7: true}
+	ids, err := Exhaustive{}.Select(space, func(id int) bool { return tested[id] }, 8, 0, 1)
+	if err != nil {
+		t.Fatalf("Select error: %v", err)
+	}
+	want := []int{0, 1, 3, 4, 5, 6, 8, 9}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestSampledIsDeterministicAndBounded(t *testing.T) {
+	space := searchSpace(t, 10_000)
+	none := func(int) bool { return false }
+	s := Sampled{Size: 64}
+
+	a, err := s.Select(space, none, space.Size(), 3, 42)
+	if err != nil {
+		t.Fatalf("Select error: %v", err)
+	}
+	b, err := s.Select(space, none, space.Size(), 3, 42)
+	if err != nil {
+		t.Fatalf("Select error: %v", err)
+	}
+	if len(a) != 64 {
+		t.Fatalf("sample size = %d, want 64", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same (seed, iteration) drew different samples: %v vs %v", a, b)
+		}
+		if i > 0 && a[i] <= a[i-1] {
+			t.Fatalf("sample not strictly increasing: %v", a)
+		}
+		if a[i] < 0 || a[i] >= space.Size() {
+			t.Fatalf("sample id %d out of range", a[i])
+		}
+	}
+
+	// A different iteration draws a different subsample (covering the space
+	// over the campaign).
+	c, err := s.Select(space, none, space.Size(), 4, 42)
+	if err != nil {
+		t.Fatalf("Select error: %v", err)
+	}
+	same := 0
+	for i := range c {
+		if c[i] == a[i] {
+			same++
+		}
+	}
+	if same == len(c) {
+		t.Fatal("iterations 3 and 4 drew the identical subsample")
+	}
+}
+
+func TestSampledSkipsTestedIDs(t *testing.T) {
+	space := searchSpace(t, 5_000)
+	tested := func(id int) bool { return id%2 == 0 }
+	ids, err := Sampled{Size: 128}.Select(space, tested, space.Size()/2, 1, 9)
+	if err != nil {
+		t.Fatalf("Select error: %v", err)
+	}
+	if len(ids) != 128 {
+		t.Fatalf("sample size = %d, want 128", len(ids))
+	}
+	for _, id := range ids {
+		if id%2 == 0 {
+			t.Fatalf("sample contains tested id %d", id)
+		}
+	}
+}
+
+func TestSampledDegeneratesToExhaustive(t *testing.T) {
+	space := searchSpace(t, 100)
+	tested := func(id int) bool { return id >= 30 }
+	ids, err := Sampled{Size: 64}.Select(space, tested, 30, 2, 5)
+	if err != nil {
+		t.Fatalf("Select error: %v", err)
+	}
+	if len(ids) != 30 {
+		t.Fatalf("sample = %d ids, want all 30 untested", len(ids))
+	}
+	for i, id := range ids {
+		if id != i {
+			t.Fatalf("ids = %v, want 0..29", ids)
+		}
+	}
+}
+
+func TestSampledRankedFallback(t *testing.T) {
+	space := searchSpace(t, 1_000)
+	tested := func(id int) bool { return id%3 != 0 }
+	got := Sampled{}.rankedSample(space, tested, 16, 11, 4)
+	if len(got) != 16 {
+		t.Fatalf("ranked sample = %d ids, want 16", len(got))
+	}
+	seen := map[int]bool{}
+	for _, id := range got {
+		if id%3 != 0 {
+			t.Fatalf("ranked sample contains tested id %d", id)
+		}
+		if seen[id] {
+			t.Fatalf("ranked sample repeats id %d", id)
+		}
+		seen[id] = true
+	}
+	again := Sampled{}.rankedSample(space, tested, 16, 11, 4)
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatal("ranked fallback is not deterministic")
+		}
+	}
+}
+
+func TestResolveStrategyAuto(t *testing.T) {
+	if _, ok := resolveStrategy(nil, DefaultAutoSampleThreshold).(Exhaustive); !ok {
+		t.Error("small space should resolve to Exhaustive")
+	}
+	if _, ok := resolveStrategy(nil, DefaultAutoSampleThreshold+1).(Sampled); !ok {
+		t.Error("large space should resolve to Sampled")
+	}
+	if _, ok := resolveStrategy(Exhaustive{}, 1_000_000).(Exhaustive); !ok {
+		t.Error("explicit strategy must win over auto")
+	}
+}

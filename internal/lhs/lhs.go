@@ -28,13 +28,15 @@ func Sample(space *configspace.Space, n int, rng *rand.Rand) ([]configspace.Conf
 		return nil, fmt.Errorf("lhs: sample size must be positive, got %d", n)
 	}
 
-	all := space.Configs()
-	if n >= len(all) {
-		shuffled := make([]configspace.Config, len(all))
-		copy(shuffled, all)
+	if n >= space.Size() {
+		shuffled := space.Configs()
 		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
 		return shuffled, nil
 	}
+	if space.Streaming() {
+		return sampleStreaming(space, n, rng)
+	}
+	all := space.Configs()
 
 	dims := space.Dimensions()
 	// Build n stratified index vectors: dimension d is divided into n strata
@@ -69,6 +71,62 @@ func Sample(space *configspace.Space, n int, rng *rand.Rand) ([]configspace.Conf
 		}
 		used[best.ID] = true
 		out = append(out, best)
+	}
+	return out, nil
+}
+
+// sampleStreaming draws n stratified configurations from a streaming space
+// without materializing it: every stratified index vector is built exactly as
+// in the materialized path, mapped to the nearest configuration in flat
+// cross-product order (Space.NearestID, O(log |space|)), and collisions probe
+// outward over neighboring IDs. The samples stay deterministic given the rng.
+func sampleStreaming(space *configspace.Space, n int, rng *rand.Rand) ([]configspace.Config, error) {
+	dims := space.Dimensions()
+	target := make([]int, len(dims))
+	perms := make([][]int, len(dims))
+	offsets := make([][]float64, len(dims))
+	for d := range dims {
+		perms[d] = rng.Perm(n)
+		offsets[d] = make([]float64, n)
+		for i := 0; i < n; i++ {
+			offsets[d][i] = rng.Float64()
+		}
+	}
+
+	used := make(map[int]bool, n)
+	out := make([]configspace.Config, 0, n)
+	for i := 0; i < n; i++ {
+		for d, dim := range dims {
+			u := (float64(perms[d][i]) + offsets[d][i]) / float64(n)
+			idx := int(math.Floor(u * float64(len(dim.Values))))
+			if idx >= len(dim.Values) {
+				idx = len(dim.Values) - 1
+			}
+			target[d] = idx
+		}
+		id, ok := space.NearestID(target)
+		if !ok {
+			return nil, fmt.Errorf("lhs: stratified target %v outside the space", target)
+		}
+		for delta := 1; used[id]; delta++ {
+			if lower := id - delta; lower >= 0 && !used[lower] {
+				id = lower
+				break
+			}
+			if higher := id + delta; higher < space.Size() && !used[higher] {
+				id = higher
+				break
+			}
+			if delta > space.Size() {
+				return nil, fmt.Errorf("lhs: no unused configuration available")
+			}
+		}
+		used[id] = true
+		cfg, err := space.Config(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cfg)
 	}
 	return out, nil
 }

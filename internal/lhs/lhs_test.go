@@ -212,3 +212,101 @@ func TestQuickSampleAlwaysDistinctAndValid(t *testing.T) {
 		t.Errorf("LHS sample property failed: %v", err)
 	}
 }
+
+// TestSampleStreamingSpace checks the streaming path: distinct, in-range,
+// deterministic samples drawn without materializing the space.
+func TestSampleStreamingSpace(t *testing.T) {
+	values := func(n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = float64(i)
+		}
+		return out
+	}
+	dims := []configspace.Dimension{
+		{Name: "a", Values: values(40)},
+		{Name: "b", Values: values(30)},
+		{Name: "c", Values: values(50)},
+	}
+	space, err := configspace.NewStreaming(dims, nil)
+	if err != nil {
+		t.Fatalf("NewStreaming error: %v", err)
+	}
+	if space.Size() != 60_000 {
+		t.Fatalf("space size = %d, want 60000", space.Size())
+	}
+
+	const n = 32
+	a, err := Sample(space, n, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatalf("Sample error: %v", err)
+	}
+	if len(a) != n {
+		t.Fatalf("sample size = %d, want %d", len(a), n)
+	}
+	seen := make(map[int]bool, n)
+	for _, cfg := range a {
+		if cfg.ID < 0 || cfg.ID >= space.Size() {
+			t.Fatalf("sample id %d out of range", cfg.ID)
+		}
+		if seen[cfg.ID] {
+			t.Fatalf("sample repeats config %d", cfg.ID)
+		}
+		seen[cfg.ID] = true
+		for d, idx := range cfg.Indices {
+			if cfg.Features[d] != dims[d].Values[idx] {
+				t.Fatalf("config %d features inconsistent: %+v", cfg.ID, cfg)
+			}
+		}
+	}
+
+	// Deterministic given the rng seed.
+	b, err := Sample(space, n, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatalf("Sample error: %v", err)
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatalf("sample %d differs across identical seeds: %d vs %d", i, a[i].ID, b[i].ID)
+		}
+	}
+
+	// Every dimension should be covered reasonably evenly (stratification):
+	// with 32 samples over 40 values of dimension a, no value may repeat more
+	// than a handful of times.
+	counts := make(map[int]int)
+	for _, cfg := range a {
+		counts[cfg.Indices[0]]++
+	}
+	for idx, c := range counts {
+		if c > 4 {
+			t.Errorf("dimension a value %d drawn %d times out of %d; stratification broken", idx, c, n)
+		}
+	}
+}
+
+// TestSampleStreamingWholeSpace covers the n >= size branch on a small
+// streaming space.
+func TestSampleStreamingWholeSpace(t *testing.T) {
+	space, err := configspace.NewStreaming([]configspace.Dimension{
+		{Name: "x", Values: []float64{1, 2, 3}},
+		{Name: "y", Values: []float64{4, 5}},
+	}, nil)
+	if err != nil {
+		t.Fatalf("NewStreaming error: %v", err)
+	}
+	got, err := Sample(space, 10, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("Sample error: %v", err)
+	}
+	if len(got) != space.Size() {
+		t.Fatalf("sample size = %d, want the whole space (%d)", len(got), space.Size())
+	}
+	seen := make(map[int]bool)
+	for _, cfg := range got {
+		seen[cfg.ID] = true
+	}
+	if len(seen) != space.Size() {
+		t.Fatalf("sample covers %d distinct configs, want %d", len(seen), space.Size())
+	}
+}

@@ -64,6 +64,46 @@ func (e *JobEnvironment) UnitPricePerHour(cfg configspace.Config) (float64, erro
 	return m.UnitPricePerHour, nil
 }
 
+// PriceCache memoizes unit prices by configuration ID, fetching them from
+// the environment the first time a configuration is priced. Prices are known
+// a priori (cloud price lists), so optimizers fetch them lazily per
+// considered candidate instead of sweeping the whole space up front — which
+// is what keeps huge streaming spaces cheap to plan over. A zero entry means
+// "not fetched yet"; environments must report strictly positive prices.
+//
+// Not safe for concurrent use: fetch prices before fanning out.
+type PriceCache struct {
+	env    Environment
+	space  *configspace.Space
+	prices []float64
+}
+
+// NewPriceCache creates a price cache over the environment's space.
+func NewPriceCache(env Environment) *PriceCache {
+	return &PriceCache{env: env, space: env.Space(), prices: make([]float64, env.Space().Size())}
+}
+
+// UnitPrice returns the memoized unit price of the configuration with the
+// given ID, fetching and validating it on first use.
+func (c *PriceCache) UnitPrice(id int) (float64, error) {
+	if v := c.prices[id]; v > 0 {
+		return v, nil
+	}
+	cfg, err := c.space.ConfigView(id)
+	if err != nil {
+		return 0, err
+	}
+	price, err := c.env.UnitPricePerHour(cfg)
+	if err != nil {
+		return 0, fmt.Errorf("optimizer: unit price of config %d: %w", id, err)
+	}
+	if price <= 0 {
+		return 0, fmt.Errorf("optimizer: non-positive unit price %v for config %d", price, id)
+	}
+	c.prices[id] = price
+	return price, nil
+}
+
 // ResolveBootstrapSize returns the bootstrap size to use: the explicit option
 // when positive, otherwise the paper default max(3%·|space|, #dimensions).
 func ResolveBootstrapSize(space *configspace.Space, opts Options) (int, error) {

@@ -294,14 +294,32 @@ func (h *History) CheapestTried() (TrialResult, bool) {
 	return best, found
 }
 
-// Untested returns the configurations of the space that have not been
-// profiled yet, in increasing ID order (the set T of Algorithm 1).
-func (h *History) Untested(space *configspace.Space) []configspace.Config {
-	out := make([]configspace.Config, 0, space.Size()-len(h.trials))
-	for _, cfg := range space.Configs() {
-		if !h.tested[cfg.ID] {
-			out = append(out, cfg)
+// UntestedIDs returns the IDs of the configurations of the space that have
+// not been profiled yet, in increasing order (the set T of Algorithm 1). It
+// never materializes configurations, so it is the untested view to use on
+// streaming spaces.
+func (h *History) UntestedIDs(space *configspace.Space) []int {
+	out := make([]int, 0, space.Size()-len(h.tested))
+	for id := 0; id < space.Size(); id++ {
+		if !h.tested[id] {
+			out = append(out, id)
 		}
+	}
+	return out
+}
+
+// Untested returns the configurations of the space that have not been
+// profiled yet, in increasing ID order. Prefer UntestedIDs where the full
+// Config structs are not needed.
+func (h *History) Untested(space *configspace.Space) []configspace.Config {
+	ids := h.UntestedIDs(space)
+	out := make([]configspace.Config, 0, len(ids))
+	for _, id := range ids {
+		cfg, err := space.Config(id)
+		if err != nil {
+			continue
+		}
+		out = append(out, cfg)
 	}
 	return out
 }

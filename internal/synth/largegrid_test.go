@@ -1,0 +1,122 @@
+package synth
+
+import (
+	"testing"
+)
+
+func TestLargeGridSpaceIsStreamingAndLarge(t *testing.T) {
+	space, err := LargeGridSpace(0)
+	if err != nil {
+		t.Fatalf("LargeGridSpace error: %v", err)
+	}
+	if !space.Streaming() {
+		t.Error("large-grid space is not streaming")
+	}
+	if space.Size() < 50_000 {
+		t.Errorf("default space has %d configurations, want >= 50k", space.Size())
+	}
+	if space.NumDimensions() != 5 {
+		t.Errorf("dimensions = %d, want 5", space.NumDimensions())
+	}
+
+	small, err := LargeGridSpace(3)
+	if err != nil {
+		t.Fatalf("LargeGridSpace(3) error: %v", err)
+	}
+	if small.Size() != 480*3 {
+		t.Errorf("space size = %d, want %d (480 per cluster-size value)", small.Size(), 480*3)
+	}
+}
+
+func TestLargeGridEnvDeterministicAndConsistent(t *testing.T) {
+	env, err := NewLargeGridEnv(LargeETL, 16, 7)
+	if err != nil {
+		t.Fatalf("NewLargeGridEnv error: %v", err)
+	}
+	again, err := NewLargeGridEnv(LargeETL, 16, 7)
+	if err != nil {
+		t.Fatalf("NewLargeGridEnv error: %v", err)
+	}
+	space := env.Space()
+	for _, id := range []int{0, 17, 481, space.Size() - 1} {
+		cfg, err := space.Config(id)
+		if err != nil {
+			t.Fatalf("Config(%d): %v", id, err)
+		}
+		a, err := env.Run(cfg)
+		if err != nil {
+			t.Fatalf("Run(%d): %v", id, err)
+		}
+		b, err := again.Run(cfg)
+		if err != nil {
+			t.Fatalf("Run(%d): %v", id, err)
+		}
+		if a.RuntimeSeconds != b.RuntimeSeconds || a.Cost != b.Cost {
+			t.Errorf("config %d: runs differ across identical envs", id)
+		}
+		if a.RuntimeSeconds <= 0 || a.Cost <= 0 || a.UnitPricePerHour <= 0 {
+			t.Errorf("config %d: non-positive measurement %+v", id, a)
+		}
+		price, err := env.UnitPricePerHour(cfg)
+		if err != nil {
+			t.Fatalf("UnitPricePerHour(%d): %v", id, err)
+		}
+		if price != a.UnitPricePerHour {
+			t.Errorf("config %d: price list %v disagrees with run %v", id, price, a.UnitPricePerHour)
+		}
+		wantCost := a.RuntimeSeconds / 3600 * price
+		if diff := a.Cost - wantCost; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("config %d: cost %v != runtime x price %v", id, a.Cost, wantCost)
+		}
+	}
+}
+
+func TestLargeGridKindsDiffer(t *testing.T) {
+	kinds := LargeGridKinds()
+	if len(kinds) != 3 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	runtimes := make([]float64, 0, len(kinds))
+	for _, kind := range kinds {
+		env, err := NewLargeGridEnv(kind, 8, 3)
+		if err != nil {
+			t.Fatalf("NewLargeGridEnv(%v): %v", kind, err)
+		}
+		cfg, err := env.Space().Config(1234)
+		if err != nil {
+			t.Fatalf("Config: %v", err)
+		}
+		tr, err := env.Run(cfg)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		runtimes = append(runtimes, tr.RuntimeSeconds)
+	}
+	if runtimes[0] == runtimes[1] || runtimes[1] == runtimes[2] {
+		t.Errorf("job kinds produce identical runtimes: %v", runtimes)
+	}
+}
+
+func TestLargeGridApproxStats(t *testing.T) {
+	env, err := NewLargeGridEnv(LargeAnalytics, 32, 5)
+	if err != nil {
+		t.Fatalf("NewLargeGridEnv error: %v", err)
+	}
+	lo, meanCost, err := env.ApproxStats(0.25, 512)
+	if err != nil {
+		t.Fatalf("ApproxStats error: %v", err)
+	}
+	hi, _, err := env.ApproxStats(0.75, 512)
+	if err != nil {
+		t.Fatalf("ApproxStats error: %v", err)
+	}
+	if !(lo > 0 && hi > lo) {
+		t.Errorf("quantiles not ordered: q25=%v q75=%v", lo, hi)
+	}
+	if meanCost <= 0 {
+		t.Errorf("mean cost = %v", meanCost)
+	}
+	if _, _, err := env.ApproxStats(1.5, 10); err == nil {
+		t.Error("out-of-range quantile accepted")
+	}
+}

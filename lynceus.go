@@ -70,10 +70,22 @@ type (
 	Evaluation = simulator.JobResult
 )
 
-// NewSpace builds a configuration space from the Cartesian product of dims,
-// optionally restricted by filter (nil keeps every combination).
+// NewSpace builds a materialized configuration space from the Cartesian
+// product of dims, optionally restricted by filter (nil keeps every
+// combination). Right for paper-scale spaces (up to a few thousand points);
+// larger spaces should use NewStreamingSpace.
 func NewSpace(dims []Dimension, filter func(indices []int) bool) (*Space, error) {
 	return configspace.New(dims, filter)
+}
+
+// NewStreamingSpace builds a streaming configuration space: configurations
+// are decoded on demand from the dimension cross-product and full-space
+// consumers iterate block-wise feature views, so a 10^5+-point space never
+// materializes in memory. All optimizers run unchanged on streaming spaces;
+// combine with TunerConfig.Search "sampled" (or the automatic default) to
+// keep per-decision planning cost bounded.
+func NewStreamingSpace(dims []Dimension, filter func(indices []int) bool) (*Space, error) {
+	return configspace.NewStreaming(dims, filter)
 }
 
 // NewJob builds a profiled job from a space and one measurement per
@@ -127,6 +139,48 @@ type TunerConfig struct {
 	// two paths produce bitwise-identical recommendations (enforced by
 	// tests); the knob exists for that proof and for ablations.
 	DisableBatchPredict bool
+	// Search selects the candidate search strategy; the zero value picks
+	// automatically based on the space size.
+	Search SearchConfig
+}
+
+// SearchConfig selects which untested configurations the planner considers at
+// each decision (TunerConfig.Search).
+type SearchConfig struct {
+	// Strategy names the strategy:
+	//
+	//   - "" (auto): "exhaustive" for spaces up to 4096 configurations,
+	//     "sampled" above — small spaces keep the paper's behavior, large
+	//     ones stay tractable without further configuration;
+	//   - "exhaustive": every untested configuration is scored at every
+	//     decision (the paper's behavior; recommendations are
+	//     bitwise-identical to pre-strategy versions of this library);
+	//   - "sampled": a deterministic, seeded subsample of at most SampleSize
+	//     untested configurations per decision, keeping per-decision planning
+	//     cost roughly constant as the space grows; the subsample depends
+	//     only on (seed, decision index), never on worker count.
+	Strategy string
+	// SampleSize bounds the per-decision candidate set of the "sampled"
+	// strategy (0 = default 1024). Ignored by the other strategies.
+	SampleSize int
+}
+
+// searchStrategy maps the public config to a core strategy (nil = auto).
+func (c SearchConfig) searchStrategy() (core.SearchStrategy, error) {
+	switch c.Strategy {
+	case "":
+		if c.SampleSize != 0 {
+			return core.Sampled{Size: c.SampleSize}, nil
+		}
+		return nil, nil
+	case "exhaustive":
+		return core.Exhaustive{}, nil
+	case "sampled":
+		return core.Sampled{Size: c.SampleSize}, nil
+	default:
+		return nil, fmt.Errorf("lynceus: unknown search strategy %q (want \"\", %q or %q)",
+			c.Strategy, "exhaustive", "sampled")
+	}
 }
 
 // NewTuner creates a Lynceus tuner.
@@ -141,6 +195,10 @@ func NewTuner(cfg TunerConfig) (Optimizer, error) {
 	if cfg.Lookahead < 0 {
 		return nil, fmt.Errorf("lynceus: negative lookahead %d", cfg.Lookahead)
 	}
+	search, err := cfg.Search.searchStrategy()
+	if err != nil {
+		return nil, err
+	}
 	params := core.Params{
 		Lookahead:           lookahead,
 		Discount:            cfg.Discount,
@@ -149,6 +207,7 @@ func NewTuner(cfg TunerConfig) (Optimizer, error) {
 		Workers:             cfg.Workers,
 		DisablePruning:      cfg.DisablePruning,
 		DisableBatchPredict: cfg.DisableBatchPredict,
+		Search:              search,
 	}
 	switch cfg.CostModel {
 	case "", string(model.KindBagging):
@@ -213,6 +272,36 @@ func SyntheticScoutJobs(seed int64) ([]*Job, error) { return synth.ScoutJobs(see
 
 // SyntheticCherryPickJobs generates the 5 CherryPick-style jobs of §5.1.2.
 func SyntheticCherryPickJobs(seed int64) ([]*Job, error) { return synth.CherryPickJobs(seed) }
+
+// LargeGridJob is a production-scale analytic workload: an Environment over
+// a streaming configuration space whose runtime and cost are computed on
+// demand from a closed-form performance model — nothing is materialized, so
+// 10^5+-point spaces cost no memory beyond their dimensions. Its ApproxStats
+// method estimates a runtime quantile and the mean cost from a deterministic
+// sample, which is how campaigns pick a budget and runtime constraint
+// without sweeping the space.
+type LargeGridJob = synth.LargeGridEnv
+
+// SyntheticLargeGridJobs returns the three production-scale large-grid
+// workloads ("large-etl", "large-training", "large-analytics") over
+// 61,440-configuration streaming spaces. Use them to exercise the "sampled"
+// search strategy and the block-wise sweeps at 10^4-10^5+ points.
+func SyntheticLargeGridJobs(seed int64) ([]*LargeGridJob, error) {
+	return synth.LargeGridJobs(seed)
+}
+
+// SyntheticLargeGridJob returns one large-grid workload by name with
+// clusterSizes node-count values (<= 0 selects the default 128, i.e. a
+// 61,440-configuration space; 512 yields ~246k, 1024 ~492k). The space size
+// is 480 x clusterSizes.
+func SyntheticLargeGridJob(name string, clusterSizes int, seed int64) (*LargeGridJob, error) {
+	for _, kind := range synth.LargeGridKinds() {
+		if kind.String() == name {
+			return synth.NewLargeGridEnv(kind, clusterSizes, seed)
+		}
+	}
+	return nil, fmt.Errorf("lynceus: unknown large-grid job %q (want large-etl, large-training or large-analytics)", name)
+}
 
 // EnergyMetric is the name of the synthetic energy metric attached to the
 // Tensorflow jobs; use it with Constraint to exercise the multi-constraint

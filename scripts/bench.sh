@@ -6,16 +6,18 @@
 #   BENCH_PATTERN=. BENCH_TIME=1x \
 #   scripts/bench.sh out.json        # CI smoke: every benchmark, one iteration
 #
-# The default set is the perf-tracked pair reported in README "Performance":
-# the LA=2 planner on the 384-point Tensorflow space and the ensemble
-# fit+full-space-sweep microbenchmark. BENCH.json is committed as the perf
-# baseline; regenerate it on comparable idle hardware before updating it.
+# The default set is the perf-tracked benchmarks reported in README
+# "Performance": the LA=2 planner on the 384-point Tensorflow space, the
+# ensemble fit+full-space-sweep microbenchmark, and the large-space planner
+# (sampled strategy over 15k-246k-point streaming spaces). BENCH.json is
+# committed as the perf baseline; regenerate it on comparable idle hardware
+# before updating it.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH.json}"
-PATTERN="${BENCH_PATTERN:-BenchmarkPlannerLA2Tensorflow|BenchmarkEnsembleFitPredict|BenchmarkFullSpaceSweep}"
+PATTERN="${BENCH_PATTERN:-BenchmarkPlannerLA2Tensorflow|BenchmarkEnsembleFitPredict|BenchmarkFullSpaceSweep|BenchmarkLargeSpaceDecision}"
 BENCHTIME="${BENCH_TIME:-1s}"
 
 # Capture the bench output before converting it: piping go test straight into
