@@ -1,15 +1,25 @@
 // Command benchjson converts `go test -bench` output read from stdin into
 // machine-readable JSON, so benchmark results can be tracked across PRs
 // (the committed BENCH.json baseline) and emitted by CI without scraping
-// free-form text.
+// free-form text. It also implements the CI bench-regression gate.
 //
 // Usage:
 //
-//	go test -run 'XXX' -bench . -benchtime 3x . | go run ./cmd/benchjson -out BENCH.json
+//	go test -run 'XXX' -bench . -benchtime 3x -count 3 . | go run ./cmd/benchjson -out BENCH.json
 //	scripts/bench.sh                             # the wrapper used by CI
+//	go run ./cmd/benchjson -compare BENCH.json -against fresh.json -threshold 20
 //
 // Every benchmark line becomes one record with the iteration count and a
 // metric map keyed by unit ("ns/op", "ns/decision", "B/op", "allocs/op", ...).
+// Repetitions of one benchmark (go test -count N) are merged into a single
+// record carrying the per-metric median and runs=N — medians are what make
+// the noisy single-run planner numbers comparable across PRs.
+//
+// With -compare, benchjson instead reads two reports and exits non-zero when
+// a tracked metric regressed by more than -threshold percent: "ns/decision"
+// on any benchmark, and "ns/op" on the BenchmarkEnsembleFitPredict cost-model
+// microbenchmarks. Benchmarks present in only one report are skipped, so
+// adding or retiring benchmarks never trips the gate.
 package main
 
 import (
@@ -18,20 +28,27 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
 
-// Benchmark is one parsed benchmark result line.
+// Benchmark is one parsed benchmark result, with repetitions of the same
+// benchmark merged into per-metric medians.
 type Benchmark struct {
 	// Name is the full benchmark name including sub-benchmark path,
-	// e.g. "BenchmarkPlannerLA2Tensorflow/workers=1".
+	// e.g. "BenchmarkPlannerLA2Tensorflow/refit=full/workers=1".
 	Name string `json:"name"`
 	// Pkg is the Go package the benchmark ran in.
 	Pkg string `json:"pkg,omitempty"`
-	// Iterations is the b.N the reported metrics were averaged over.
+	// Iterations is the b.N the reported metrics were averaged over (the
+	// median across runs when Runs > 1).
 	Iterations int64 `json:"iterations"`
-	// Metrics maps a unit to its per-iteration value, e.g. "ns/op": 123.4.
+	// Runs is the number of `go test -count` repetitions merged into this
+	// record; omitted when 1.
+	Runs int `json:"runs,omitempty"`
+	// Metrics maps a unit to its per-iteration value, e.g. "ns/op": 123.4 —
+	// the median across runs when Runs > 1.
 	Metrics map[string]float64 `json:"metrics"`
 }
 
@@ -52,12 +69,23 @@ func main() {
 
 func run() error {
 	out := flag.String("out", "", "output file (default stdout)")
+	compare := flag.String("compare", "", "baseline report: compare -against it instead of converting stdin")
+	against := flag.String("against", "", "fresh report compared to the -compare baseline")
+	threshold := flag.Float64("threshold", 20, "maximum tolerated slowdown in percent for -compare")
 	flag.Parse()
+
+	if *compare != "" {
+		if *against == "" {
+			return fmt.Errorf("-compare requires -against")
+		}
+		return compareReports(*compare, *against, *threshold)
+	}
 
 	report, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		return err
 	}
+	report.Benchmarks = mergeRuns(report.Benchmarks)
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -68,6 +96,134 @@ func run() error {
 		return err
 	}
 	return os.WriteFile(*out, data, 0o644)
+}
+
+// mergeRuns collapses repeated records of one benchmark (go test -count N)
+// into a single record with per-metric medians, preserving first-seen order.
+func mergeRuns(benchmarks []Benchmark) []Benchmark {
+	order := make([]string, 0, len(benchmarks))
+	groups := make(map[string][]Benchmark, len(benchmarks))
+	for _, b := range benchmarks {
+		key := b.Pkg + "\x00" + b.Name
+		if _, seen := groups[key]; !seen {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], b)
+	}
+	out := make([]Benchmark, 0, len(order))
+	for _, key := range order {
+		group := groups[key]
+		if len(group) == 1 {
+			out = append(out, group[0])
+			continue
+		}
+		merged := Benchmark{
+			Name:    group[0].Name,
+			Pkg:     group[0].Pkg,
+			Runs:    len(group),
+			Metrics: make(map[string]float64),
+		}
+		iters := make([]float64, len(group))
+		units := map[string]bool{}
+		for i, b := range group {
+			iters[i] = float64(b.Iterations)
+			for unit := range b.Metrics {
+				units[unit] = true
+			}
+		}
+		merged.Iterations = int64(median(iters))
+		for unit := range units {
+			values := make([]float64, 0, len(group))
+			for _, b := range group {
+				if v, ok := b.Metrics[unit]; ok {
+					values = append(values, v)
+				}
+			}
+			merged.Metrics[unit] = median(values)
+		}
+		out = append(out, merged)
+	}
+	return out
+}
+
+// median returns the middle value (mean of the two middles for even counts).
+func median(values []float64) float64 {
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// trackedMetrics returns the regression-gated metric units of a benchmark:
+// per-decision planning time everywhere it is reported, and raw ns/op for
+// the cost-model fit+sweep microbenchmarks.
+func trackedMetrics(b Benchmark) []string {
+	units := make([]string, 0, 2)
+	if _, ok := b.Metrics["ns/decision"]; ok {
+		units = append(units, "ns/decision")
+	}
+	if strings.HasPrefix(b.Name, "BenchmarkEnsembleFitPredict") {
+		if _, ok := b.Metrics["ns/op"]; ok {
+			units = append(units, "ns/op")
+		}
+	}
+	return units
+}
+
+// compareReports fails (non-nil error) when a tracked metric of the fresh
+// report is more than threshold percent slower than the baseline.
+func compareReports(basePath, freshPath string, threshold float64) error {
+	var base, fresh Report
+	for _, load := range []struct {
+		path string
+		into *Report
+	}{{basePath, &base}, {freshPath, &fresh}} {
+		data, err := os.ReadFile(load.path)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, load.into); err != nil {
+			return fmt.Errorf("parsing %s: %w", load.path, err)
+		}
+	}
+	// Key by (pkg, name) — the same identity mergeRuns dedups on — so
+	// same-named benchmarks from different packages never collide.
+	key := func(b Benchmark) string { return b.Pkg + "\x00" + b.Name }
+	baseline := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[key(b)] = b
+	}
+	regressions := 0
+	for _, b := range fresh.Benchmarks {
+		ref, ok := baseline[key(b)]
+		if !ok {
+			continue
+		}
+		for _, unit := range trackedMetrics(b) {
+			refValue, ok := ref.Metrics[unit]
+			if !ok || refValue <= 0 {
+				continue
+			}
+			slowdown := (b.Metrics[unit]/refValue - 1) * 100
+			status := "ok"
+			if slowdown > threshold {
+				status = "REGRESSION"
+				regressions++
+			}
+			fmt.Printf("%-60s %-12s %14.0f -> %14.0f  %+6.1f%%  %s\n",
+				b.Name, unit, refValue, b.Metrics[unit], slowdown, status)
+		}
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d tracked metric(s) regressed more than %.0f%% against %s", regressions, threshold, basePath)
+	}
+	return nil
 }
 
 // parse scans `go test -bench` output: context lines (goos:, goarch:, pkg:,

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"os"
 	"strings"
 	"testing"
 )
@@ -37,6 +38,83 @@ ok  	repro	46.914s
 	second := report.Benchmarks[1]
 	if second.Name != "BenchmarkEnsembleFitPredict" || second.Metrics["ns/op"] != 360295 {
 		t.Errorf("unexpected second record: %+v", second)
+	}
+}
+
+func TestMergeRunsEmitsMedians(t *testing.T) {
+	input := `pkg: repro
+BenchmarkPlannerLA2Tensorflow/refit=full/workers=1 	       1	5000000000 ns/op	 250000000 ns/decision
+BenchmarkPlannerLA2Tensorflow/refit=full/workers=1 	       1	5200000000 ns/op	 260000000 ns/decision
+BenchmarkPlannerLA2Tensorflow/refit=full/workers=1 	       1	9900000000 ns/op	 400000000 ns/decision
+BenchmarkEnsembleFitPredict 	    3000	    360295 ns/op
+`
+	report, err := parse(bufio.NewScanner(strings.NewReader(input)))
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	merged := mergeRuns(report.Benchmarks)
+	if len(merged) != 2 {
+		t.Fatalf("merged %d records, want 2", len(merged))
+	}
+	planner := merged[0]
+	if planner.Runs != 3 {
+		t.Errorf("runs = %d, want 3", planner.Runs)
+	}
+	// The median must shrug off the 400ms outlier run.
+	if planner.Metrics["ns/decision"] != 260000000 {
+		t.Errorf("median ns/decision = %v, want 260000000", planner.Metrics["ns/decision"])
+	}
+	if planner.Metrics["ns/op"] != 5200000000 {
+		t.Errorf("median ns/op = %v, want 5200000000", planner.Metrics["ns/op"])
+	}
+	single := merged[1]
+	if single.Runs != 0 || single.Metrics["ns/op"] != 360295 {
+		t.Errorf("single-run record altered: %+v", single)
+	}
+}
+
+func TestCompareReportsFlagsTrackedRegressions(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := dir + "/" + name
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatalf("writing %s: %v", name, err)
+		}
+		return path
+	}
+	base := write("base.json", `{"benchmarks": [
+		{"name": "BenchmarkPlannerLA2Tensorflow/refit=full/workers=1", "iterations": 1, "metrics": {"ns/decision": 100, "ns/op": 1000}},
+		{"name": "BenchmarkEnsembleFitPredict", "iterations": 100, "metrics": {"ns/op": 100}},
+		{"name": "BenchmarkFullSpaceSweep/batch", "iterations": 100, "metrics": {"ns/op": 100}},
+		{"name": "BenchmarkRetired", "iterations": 1, "metrics": {"ns/decision": 1}}
+	]}`)
+
+	// Within threshold, untracked ns/op blowups ignored, retired/new
+	// benchmarks skipped: must pass.
+	pass := write("pass.json", `{"benchmarks": [
+		{"name": "BenchmarkPlannerLA2Tensorflow/refit=full/workers=1", "iterations": 1, "metrics": {"ns/decision": 115, "ns/op": 99000}},
+		{"name": "BenchmarkEnsembleFitPredict", "iterations": 100, "metrics": {"ns/op": 110}},
+		{"name": "BenchmarkFullSpaceSweep/batch", "iterations": 100, "metrics": {"ns/op": 900}},
+		{"name": "BenchmarkBrandNew", "iterations": 1, "metrics": {"ns/decision": 999}}
+	]}`)
+	if err := compareReports(base, pass, 20); err != nil {
+		t.Fatalf("compareReports flagged a passing run: %v", err)
+	}
+
+	// ns/decision regression beyond threshold must fail.
+	slowPlanner := write("slow_planner.json", `{"benchmarks": [
+		{"name": "BenchmarkPlannerLA2Tensorflow/refit=full/workers=1", "iterations": 1, "metrics": {"ns/decision": 130}}
+	]}`)
+	if err := compareReports(base, slowPlanner, 20); err == nil {
+		t.Fatal("compareReports passed a >20%% ns/decision regression")
+	}
+
+	// EnsembleFitPredict ns/op regression beyond threshold must fail.
+	slowFit := write("slow_fit.json", `{"benchmarks": [
+		{"name": "BenchmarkEnsembleFitPredict", "iterations": 100, "metrics": {"ns/op": 130}}
+	]}`)
+	if err := compareReports(base, slowFit, 20); err == nil {
+		t.Fatal("compareReports passed a >20%% EnsembleFitPredict regression")
 	}
 }
 

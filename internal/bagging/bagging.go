@@ -34,6 +34,11 @@ type Params struct {
 	// training sets of early optimization iterations). Values below 0 are
 	// treated as 0.
 	MinStdDevFraction float64
+	// Incremental makes Fit retain each tree's training samples and leaf
+	// membership (regtree.TrainIncremental), enabling Update and CloneInto.
+	// Retention changes neither the fitted trees nor the rng stream — only
+	// memory is spent — so predictions are bitwise identical either way.
+	Incremental bool
 }
 
 func (p Params) withDefaults() Params {
@@ -55,8 +60,19 @@ func (p Params) withDefaults() Params {
 type Ensemble struct {
 	params      Params
 	rng         *rand.Rand
+	seed        int64
 	trees       []*regtree.Tree
 	numFeatures int
+
+	// updates counts the samples folded in by Update since the last Fit; it
+	// is the sample index that keys the deterministic per-tree inclusion
+	// weights, so clones of one fitted ensemble apply identical weights to
+	// their next sample regardless of which goroutine updates them.
+	updates int
+	// lastAffected[t] is the node index of tree t touched by the last Update
+	// (-1 when the sample was not included in that tree's stream); nil when
+	// no update happened since the last Fit.
+	lastAffected []int32
 
 	// Resample buffers reused across fits. Lynceus' path simulation refits
 	// the same ensemble once per speculated outcome, so per-fit allocations
@@ -66,12 +82,9 @@ type Ensemble struct {
 	subFeatures [][]float64
 	subTargets  []float64
 
-	// batchRow is the gathered feature row reused by PredictBatch: walking
-	// the trees over one small contiguous row beats per-node two-level column
-	// indexing, and reusing it keeps batched sweeps allocation-free per
-	// point. The price is that PredictBatch is not safe for concurrent calls
-	// on the same ensemble.
-	batchRow []float64
+	// pathBuf is reused by AffectedByLastUpdateBatch's per-tree path
+	// extraction.
+	pathBuf []regtree.PathStep
 }
 
 // New creates an untrained ensemble. All randomness (bootstrap resampling and
@@ -81,6 +94,7 @@ func New(params Params, seed int64) *Ensemble {
 	return &Ensemble{
 		params: params.withDefaults(),
 		rng:    rand.New(rand.NewSource(seed)),
+		seed:   seed,
 	}
 }
 
@@ -113,7 +127,13 @@ func (e *Ensemble) Fit(features [][]float64, targets []float64) error {
 			subFeatures[j] = features[idx]
 			subTargets[j] = targets[idx]
 		}
-		tree, err := regtree.Train(subFeatures, subTargets, e.params.Tree, e.rng)
+		var tree *regtree.Tree
+		var err error
+		if e.params.Incremental {
+			tree, err = regtree.TrainIncremental(subFeatures, subTargets, e.params.Tree, e.rng)
+		} else {
+			tree, err = regtree.Train(subFeatures, subTargets, e.params.Tree, e.rng)
+		}
 		if err != nil {
 			return fmt.Errorf("bagging: training tree %d: %w", i, err)
 		}
@@ -121,6 +141,8 @@ func (e *Ensemble) Fit(features [][]float64, targets []float64) error {
 	}
 	e.trees = trees
 	e.numFeatures = len(features[0])
+	e.updates = 0
+	e.lastAffected = e.lastAffected[:0]
 	return nil
 }
 
@@ -167,9 +189,9 @@ func (e *Ensemble) Predict(x []float64) (numeric.Gaussian, error) {
 // small enough to stay cache-resident, so the extra accumulation passes and
 // the per-node two-level column indexing cost more than they save.)
 //
-// PredictBatch reuses a scratch buffer on the ensemble and is therefore not
-// safe for concurrent calls; Predict remains safe for concurrent use once
-// Fit has returned.
+// The gathered row lives on the caller's stack (up to batchRowStackSize
+// features), so concurrent PredictBatch calls on one fitted ensemble are
+// safe, like Predict.
 func (e *Ensemble) PredictBatch(cols [][]float64, out []numeric.Gaussian) error {
 	if !e.Trained() {
 		return ErrNotTrained
@@ -183,10 +205,13 @@ func (e *Ensemble) PredictBatch(cols [][]float64, out []numeric.Gaussian) error 
 			return fmt.Errorf("bagging: feature column %d has %d points, want %d", f, len(col), n)
 		}
 	}
-	if cap(e.batchRow) < len(cols) {
-		e.batchRow = make([]float64, len(cols))
+	var rowBuf [batchRowStackSize]float64
+	var row []float64
+	if len(cols) <= len(rowBuf) {
+		row = rowBuf[:len(cols)]
+	} else {
+		row = make([]float64, len(cols))
 	}
-	row := e.batchRow[:len(cols)]
 	for i := 0; i < n; i++ {
 		for f, col := range cols {
 			row[f] = col[i]
@@ -201,6 +226,11 @@ func (e *Ensemble) PredictBatch(cols [][]float64, out []numeric.Gaussian) error 
 	}
 	return nil
 }
+
+// batchRowStackSize is the widest feature row PredictBatch gathers on the
+// stack; wider spaces (rare — configuration spaces have a handful of
+// dimensions) fall back to one heap allocation per call.
+const batchRowStackSize = 32
 
 // gaussianFromSums turns the sum and sum of squares of the tree predictions
 // into the predictive Gaussian. Predict and PredictBatch share it so the two
@@ -236,14 +266,20 @@ func NewFactory(params Params, seed int64) *Factory {
 // Params returns the parameters with which ensembles are created.
 func (f *Factory) Params() Params { return f.params }
 
+// mix64 is the SplitMix64 finalizer: a cheap, well-distributed hash shared
+// by every stream derivation in this package (factory streams, update
+// inclusion weights).
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
 // New creates a fresh untrained ensemble whose random stream is derived from
 // the factory seed and the given stream identifier. Calls with distinct
 // stream identifiers are safe from concurrent goroutines.
 func (f *Factory) New(stream int64) *Ensemble {
 	// SplitMix64-style mixing to decorrelate nearby stream ids.
-	z := uint64(f.seed) + uint64(stream)*0x9E3779B97F4A7C15
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	z ^= z >> 31
+	z := mix64(uint64(f.seed) + uint64(stream)*0x9E3779B97F4A7C15)
 	return New(f.params, int64(z))
 }

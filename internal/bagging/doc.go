@@ -12,4 +12,12 @@
 // independent ensembles on deterministic random streams to concurrent path
 // evaluations, so the planner's parallel fan-out never shares mutable model
 // state between goroutines.
+//
+// Ensembles fitted with Params.Incremental additionally support the
+// planner's incremental speculative-refit mode: CloneInto snapshots a fitted
+// ensemble into reusable storage, Update folds one sample into the cloned
+// trees under deterministic Poisson bootstrap-inclusion weights keyed by
+// (seed, tree, sample index), and AffectedByLastUpdateBatch bounds which
+// predictions the update can have moved — see core.Params.SpeculativeRefit
+// and docs/ARCHITECTURE.md, "Refit paths".
 package bagging

@@ -1,0 +1,248 @@
+package bagging
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/regtree"
+)
+
+// This file implements the ensemble's one-sample update path: an ensemble
+// fitted with Params.Incremental can fold a new (x, y) sample into its trees
+// without refitting, and CloneInto snapshots a fitted ensemble into reusable
+// storage so the planner's speculation branches each get an independent,
+// cheaply derived copy to update.
+
+// ErrNotIncremental is returned by Update and CloneInto when the ensemble was
+// not fitted with Params.Incremental.
+var ErrNotIncremental = errors.New("bagging: ensemble was not fitted with Params.Incremental")
+
+// Incremental reports whether the ensemble retains the per-tree state needed
+// by Update and CloneInto.
+func (e *Ensemble) Incremental() bool {
+	return e.params.Incremental && len(e.trees) > 0 && e.trees[0].Incremental()
+}
+
+// IncrementalCapable reports whether fits of this ensemble will support
+// Update and CloneInto, i.e. whether Params.Incremental is set. Unlike
+// Incremental it does not require a completed fit, which is what lets the
+// planner probe a factory's products before planning starts instead of
+// failing mid-run (see model.SupportsIncremental).
+func (e *Ensemble) IncrementalCapable() bool { return e.params.Incremental }
+
+// Updates returns the number of samples folded in by Update since the last
+// Fit.
+func (e *Ensemble) Updates() int { return e.updates }
+
+// updateStream mixes (seed, tree, sample index) into one SplitMix64 draw, the
+// key of every randomized decision of one tree's view of one updated sample.
+func updateStream(seed int64, tree, sample int) uint64 {
+	return mix64(uint64(seed)*0x9E3779B97F4A7C15 +
+		uint64(tree)*0xD1B54A32D192ED03 +
+		uint64(sample)*0x8CB92BA72F3D8DD7 + 0x2545F4914F6CDD1D)
+}
+
+// inclusionMultiplicity maps one uniform draw to the number of times a new
+// sample enters a tree's bootstrap stream. A bootstrap resample of rate
+// SampleFraction includes a given sample Binomial(n, fraction/n) ≈
+// Poisson(fraction) times, so the multiplicity follows the Poisson CDF at
+// that rate — deterministic in the draw, independent of history.
+func inclusionMultiplicity(u uint64, rate float64) int {
+	// Uniform in [0, 1) from the top 53 bits.
+	x := float64(u>>11) / (1 << 53)
+	p := math.Exp(-rate)
+	cum := p
+	k := 0
+	for x >= cum && k < 16 {
+		k++
+		p *= rate / float64(k)
+		cum += p
+	}
+	return k
+}
+
+// Update folds one sample into the fitted ensemble: each tree receives the
+// sample a deterministic number of times — the Poisson-distributed bootstrap
+// inclusion weight keyed by (seed, tree, sample index) — and inserts it via
+// regtree.Insert (leaf mean update, re-split past the min-samples threshold).
+//
+// The weights depend only on the ensemble's seed and the count of updates
+// since the last Fit, never on goroutine scheduling, so clones of one fitted
+// ensemble that apply the same sample sequence end up bitwise identical —
+// this is what keeps the planner's incremental speculation worker-count
+// independent.
+func (e *Ensemble) Update(x []float64, y float64) error {
+	if !e.Trained() {
+		return ErrNotTrained
+	}
+	if !e.Incremental() {
+		return ErrNotIncremental
+	}
+	if len(x) != e.numFeatures {
+		return fmt.Errorf("bagging: feature vector has %d columns, want %d", len(x), e.numFeatures)
+	}
+	if cap(e.lastAffected) < len(e.trees) {
+		e.lastAffected = make([]int32, len(e.trees))
+	}
+	e.lastAffected = e.lastAffected[:len(e.trees)]
+	k := e.updates
+	needRng := e.params.Tree.FeatureFraction > 0 && e.params.Tree.FeatureFraction < 1
+	for ti, tree := range e.trees {
+		draw := updateStream(e.seed, ti, k)
+		m := inclusionMultiplicity(draw, e.params.SampleFraction)
+		if m == 0 {
+			e.lastAffected[ti] = -1
+			continue
+		}
+		var rng *rand.Rand
+		if needRng {
+			rng = rand.New(rand.NewSource(int64(draw ^ 0xA5A5A5A5A5A5A5A5)))
+		}
+		affected := -1
+		for j := 0; j < m; j++ {
+			node, err := tree.Insert(x, y, rng)
+			if err != nil {
+				return fmt.Errorf("bagging: updating tree %d: %w", ti, err)
+			}
+			if affected < 0 {
+				// Later duplicates land inside the first insert's region, so
+				// the first touched node bounds everything this tree changed.
+				affected = node
+			}
+		}
+		e.lastAffected[ti] = int32(affected)
+	}
+	e.updates = k + 1
+	return nil
+}
+
+// AffectedByLastUpdate reports whether the last Update may have changed the
+// ensemble's prediction at x: true when, in at least one tree that received
+// the sample, the prediction walk for x passes through the updated node.
+// False when no update happened since the last Fit. The planner's prediction
+// memo uses this to keep entries whose predictions provably did not move.
+func (e *Ensemble) AffectedByLastUpdate(x []float64) bool {
+	if len(e.lastAffected) == 0 {
+		return false
+	}
+	for ti, tree := range e.trees {
+		a := e.lastAffected[ti]
+		if a < 0 {
+			continue
+		}
+		if tree.HitsNode(x, int(a)) {
+			return true
+		}
+	}
+	return false
+}
+
+// AffectedByLastUpdateBatch sweeps a column-major candidate matrix
+// (cols[f][i] is feature f of point i) and writes to out[i] whether the last
+// Update may have changed the prediction of point i — the batched equivalent
+// of AffectedByLastUpdate. Instead of walking every tree per point, it
+// extracts each updated tree's root-to-affected-node split constraints once
+// and checks points against them, stopping at the first violated constraint;
+// points far from the updated region (the vast majority after a one-sample
+// update) are rejected by the first split. The prediction memo's selective
+// invalidation runs on this sweep.
+//
+// AffectedByLastUpdateBatch reuses a path buffer on the ensemble, so calls
+// on one ensemble must not run concurrently (Predict and PredictBatch remain
+// concurrency-safe).
+func (e *Ensemble) AffectedByLastUpdateBatch(cols [][]float64, out []bool) error {
+	if !e.Trained() {
+		return ErrNotTrained
+	}
+	if len(cols) != e.numFeatures {
+		return fmt.Errorf("bagging: feature matrix has %d columns, want %d", len(cols), e.numFeatures)
+	}
+	n := len(out)
+	for f, col := range cols {
+		if len(col) != n {
+			return fmt.Errorf("bagging: feature column %d has %d points, want %d", f, len(col), n)
+		}
+	}
+	for i := range out {
+		out[i] = false
+	}
+	if len(e.lastAffected) == 0 {
+		return nil
+	}
+	for ti, tree := range e.trees {
+		a := e.lastAffected[ti]
+		if a < 0 {
+			continue
+		}
+		steps, ok := tree.AppendPathTo(int(a), e.pathBuf[:0])
+		e.pathBuf = steps[:0]
+		if !ok {
+			return fmt.Errorf("bagging: affected node %d not found in tree %d", a, ti)
+		}
+		for i := 0; i < n; i++ {
+			if out[i] {
+				continue
+			}
+			hit := true
+			for _, s := range steps {
+				if (cols[s.Feature][i] <= s.Threshold) != s.Left {
+					hit = false
+					break
+				}
+			}
+			if hit {
+				out[i] = true
+			}
+		}
+	}
+	return nil
+}
+
+// CloneInto implements the model layer's incremental-cloning contract: dst
+// must be an *Ensemble (typically produced by the same Factory). The fitted
+// state — trees with their retained samples, the update counter, the
+// deterministic seed — is deep-copied into dst's reusable storage (each tree
+// clones into a per-tree arena), so repeated clones into one dst allocate
+// almost nothing. dst's own rng is left untouched; clones are meant to be
+// updated and queried, not refitted.
+//
+// Cloning only reads the source, so concurrent CloneInto calls from one
+// fitted ensemble into distinct destinations are safe.
+func (e *Ensemble) CloneInto(dst any) error {
+	d, ok := dst.(*Ensemble)
+	if !ok {
+		return fmt.Errorf("bagging: CloneInto destination is %T, want *Ensemble", dst)
+	}
+	if !e.Trained() {
+		return ErrNotTrained
+	}
+	if !e.Incremental() {
+		return ErrNotIncremental
+	}
+	if d == e {
+		return nil
+	}
+	d.params = e.params
+	d.seed = e.seed
+	d.numFeatures = e.numFeatures
+	d.updates = e.updates
+	if d.rng == nil {
+		d.rng = rand.New(rand.NewSource(e.seed ^ 0x6C62272E07BB0142))
+	}
+	if cap(d.trees) < len(e.trees) {
+		trees := make([]*regtree.Tree, len(e.trees))
+		copy(trees, d.trees)
+		d.trees = trees
+	}
+	d.trees = d.trees[:len(e.trees)]
+	for i, tree := range e.trees {
+		if d.trees[i] == nil {
+			d.trees[i] = &regtree.Tree{}
+		}
+		tree.CloneInto(d.trees[i])
+	}
+	d.lastAffected = append(d.lastAffected[:0], e.lastAffected...)
+	return nil
+}

@@ -27,4 +27,10 @@
 //     exact ratio are dropped without simulating their paths. The threshold
 //     tightens in fixed-size chunks, depends only on deterministic root-model
 //     quantities, and can be switched off with Params.DisablePruning.
+//   - Incremental speculative refits: Params.SpeculativeRefit selects whether
+//     each speculated outcome refits the whole model set (Full, the paper's
+//     exact behavior) or clones the parent models and folds the one
+//     speculated sample in (Incremental — an order of magnitude cheaper,
+//     statistically equivalent, and what makes lookahead >= 3 interactive).
+//     Auto resolves by lookahead and candidate count.
 package core

@@ -27,6 +27,35 @@ const (
 	DefaultEligibilityProb = 0.99
 )
 
+// SpeculativeRefit selects how the planner retrains its models along
+// speculative exploration paths (see Params.SpeculativeRefit).
+type SpeculativeRefit int
+
+const (
+	// SpecRefitAuto resolves per planner: Full on paper-scale searches,
+	// Incremental once lookahead × candidate bound crosses
+	// AutoIncrementalWork (or lookahead reaches 3, where full refits stop
+	// being interactive regardless of the candidate count).
+	SpecRefitAuto SpeculativeRefit = iota
+	// SpecRefitFull refits the whole model set from the extended training
+	// matrix at every speculated outcome — the exact historical behavior,
+	// bitwise-pinned by the golden campaign tests.
+	SpecRefitFull
+	// SpecRefitIncremental clones the parent model set once per speculation
+	// branch and folds the speculated sample in with a one-sample update
+	// (model.IncrementalRegressor), an order of magnitude cheaper per
+	// speculation. The resulting trees differ from freshly refitted ones, so
+	// recommendations match the Full path statistically, not bitwise
+	// (enforced by the recommendation-parity campaign tests).
+	SpecRefitIncremental
+)
+
+// AutoIncrementalWork is the lookahead × candidate-bound product above which
+// SpecRefitAuto switches the speculative path to incremental refits. The
+// paper-scale campaigns (384-point Tensorflow, 72-point Scout, LA ≤ 2) stay
+// below it and keep the exact Full path by default.
+const AutoIncrementalWork = 2048
+
 // Params configures the Lynceus optimizer.
 type Params struct {
 	// Lookahead is the lookahead window LA; 0 yields the cost-normalized
@@ -74,6 +103,15 @@ type Params struct {
 	// planner both ways and require identical trial sequences — and as an
 	// escape hatch for custom ModelFactory regressors.
 	DisableBatchPredict bool
+	// SpeculativeRefit selects the refit mode of the speculative path: Full
+	// retrains the whole model set per speculated outcome (the exact paper
+	// behavior), Incremental clones the parent models and applies one-sample
+	// updates, and Auto (the zero value) resolves by lookahead × candidate
+	// count — paper-scale searches keep Full, deep or wide searches switch
+	// to Incremental. Explicitly requesting Incremental with a ModelFactory
+	// whose regressors are not model.IncrementalRegressor (e.g. "gp") is an
+	// error; under Auto such factories silently keep Full.
+	SpeculativeRefit SpeculativeRefit
 }
 
 func (p Params) withDefaults() (Params, error) {
@@ -103,6 +141,11 @@ func (p Params) withDefaults() (Params, error) {
 	}
 	if p.Workers == 0 {
 		p.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch p.SpeculativeRefit {
+	case SpecRefitAuto, SpecRefitFull, SpecRefitIncremental:
+	default:
+		return Params{}, fmt.Errorf("core: unknown speculative-refit mode %d", p.SpeculativeRefit)
 	}
 	return p, nil
 }

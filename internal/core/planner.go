@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/acquisition"
 	"repro/internal/configspace"
@@ -27,11 +28,27 @@ type planner struct {
 	space     *configspace.Space
 	strategy  SearchStrategy
 	factory   model.Factory
+	refitMode SpeculativeRefit
 	iteration int
 
 	// prices lazily memoizes unit prices per candidate, so huge spaces never
 	// pay a full-space price sweep at planner creation.
 	prices *optimizer.PriceCache
+
+	// eligZ caches Φ⁻¹(EligibilityProb) for the incremental mode's
+	// eligibility test: "P(cost ≤ budget) ≥ prob" becomes the algebraically
+	// equivalent "budget ≥ mean + z·σ", which costs one multiply instead of
+	// one erfc per candidate per speculated state. Full mode keeps the
+	// historical CDF comparison bit for bit (eligUseZ false there, and also
+	// when the quantile is unavailable, e.g. EligibilityProb = 1).
+	eligZ    float64
+	eligUseZ bool
+
+	// wsPool recycles the incremental-mode path workspaces (clone slots plus
+	// their arenas) across candidates and decisions. Pooled state is fully
+	// overwritten by cloneFrom before every use, so reuse never leaks model
+	// state between paths and the recommendation stays scheduling-free.
+	wsPool sync.Pool
 
 	// Per-decision scratch rebuilt by nextConfig; read-only during the
 	// parallel path-evaluation fan-out.
@@ -41,20 +58,53 @@ type planner struct {
 	activeCfgs []configspace.Config // decoded configs of active candidates (built only when SetupCost is set)
 }
 
+// resolveRefitMode turns SpecRefitAuto into a concrete mode from the
+// lookahead window and the per-decision candidate bound of the strategy.
+func resolveRefitMode(mode SpeculativeRefit, lookahead, candidateBound int) SpeculativeRefit {
+	if mode != SpecRefitAuto {
+		return mode
+	}
+	if lookahead >= 3 || lookahead*candidateBound >= AutoIncrementalWork {
+		return SpecRefitIncremental
+	}
+	return SpecRefitFull
+}
+
 func newPlanner(params Params, env optimizer.Environment, opts optimizer.Options) (*planner, error) {
 	space := env.Space()
+	strategy := resolveStrategy(params.Search, space.Size())
+	mode := resolveRefitMode(params.SpeculativeRefit, params.Lookahead, strategyCandidateBound(strategy, space.Size()))
 	factory := params.ModelFactory
 	if factory == nil {
-		factory = model.NewBaggingFactory(params.Model, opts.Seed)
+		// The default bagging factory retains incremental state only when the
+		// speculative path needs it: Full-mode fits stay byte-for-byte the
+		// historical ones with no retention overhead.
+		m := params.Model
+		m.Incremental = mode == SpecRefitIncremental
+		factory = model.NewBaggingFactory(m, opts.Seed)
+	} else if mode == SpecRefitIncremental {
+		if !model.SupportsIncremental(factory.New(-1)) {
+			if params.SpeculativeRefit == SpecRefitIncremental {
+				return nil, fmt.Errorf("core: SpeculativeRefit Incremental requires incremental-update support (model.IncrementalRegressor, with retention enabled — e.g. bagging.Params.Incremental), which the %q factory's models lack", factory.Name())
+			}
+			mode = SpecRefitFull
+		}
 	}
-	return &planner{
-		params:   params,
-		opts:     opts,
-		space:    space,
-		strategy: resolveStrategy(params.Search, space.Size()),
-		factory:  factory,
-		prices:   optimizer.NewPriceCache(env),
-	}, nil
+	p := &planner{
+		params:    params,
+		opts:      opts,
+		space:     space,
+		strategy:  strategy,
+		factory:   factory,
+		refitMode: mode,
+		prices:    optimizer.NewPriceCache(env),
+	}
+	if mode == SpecRefitIncremental {
+		if z, err := numeric.NormalQuantile(params.EligibilityProb); err == nil {
+			p.eligZ, p.eligUseZ = z, true
+		}
+	}
+	return p, nil
 }
 
 // gather materializes the active candidate set of one decision: the selected
@@ -360,6 +410,94 @@ func (p *planner) refit(ms *modelSet, ts *trainSet) error {
 	return nil
 }
 
+// update folds one speculated sample into every model of the set (the cost
+// target into the cost model, each constraint metric into its model),
+// selectively invalidating the prediction memos.
+func (ms *modelSet) update(x []float64, cost float64, extras []float64) error {
+	if err := ms.cost.Update(x, cost); err != nil {
+		return fmt.Errorf("core: updating cost model: %w", err)
+	}
+	for k, m := range ms.extras {
+		if err := m.Update(x, extras[k]); err != nil {
+			return fmt.Errorf("core: updating constraint model %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// cloneFrom snapshots src's fitted models and prediction memos into the set,
+// reusing its storage. cloneFrom only reads src, so concurrent clones from
+// one parent set (the shared root models) are safe.
+func (ms *modelSet) cloneFrom(src *modelSet) error {
+	if err := ms.cost.CloneFrom(src.cost); err != nil {
+		return fmt.Errorf("core: cloning cost model: %w", err)
+	}
+	for k, m := range ms.extras {
+		if err := m.CloneFrom(src.extras[k]); err != nil {
+			return fmt.Errorf("core: cloning constraint model %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// pathWorkspace is the per-path-evaluation model scratch. In Full mode it
+// holds one model set that explorePaths refits from the extended training
+// matrix at every speculated outcome (the exact historical behavior). In
+// Incremental mode it holds one clone slot per speculation depth: each
+// speculated outcome re-clones the parent set into its depth's slot and
+// folds the single speculated sample in, never retraining a tree.
+type pathWorkspace struct {
+	scratch *modelSet
+	clones  []*modelSet
+
+	// elig backs the eligibility sweeps of this path's nextStep calls, which
+	// otherwise allocate three candidate-set-sized slices per speculated
+	// outcome. The buffers are only live within one nextStep call, so one
+	// set per workspace suffices for the whole recursion.
+	elig eligibleBuf
+}
+
+// eligibleBuf holds the reusable output buffers of one eligibility sweep.
+type eligibleBuf struct {
+	cands      []candidate
+	costPreds  []numeric.Gaussian
+	extraPreds [][]numeric.Gaussian
+}
+
+// cloneSlot returns the model-set slot of the given speculation depth,
+// creating it on first use. Slot contents are fully overwritten by cloneFrom
+// before every use, so recycled slots never leak state between paths.
+func (ws *pathWorkspace) cloneSlot(p *planner, depth int) *modelSet {
+	for len(ws.clones) <= depth {
+		// The stream only seeds the untrained placeholder models; cloneFrom
+		// replaces their state entirely, so any constant works.
+		ws.clones = append(ws.clones, p.newModelSet(int64(len(ws.clones))+1, 0))
+	}
+	return ws.clones[depth]
+}
+
+// newWorkspace builds the workspace of one path evaluation. Full mode keeps
+// the historical per-candidate scratch model set with its random stream
+// derived from (iteration, candidate ID) — the derivation the golden
+// campaign tests pin. Incremental mode recycles pooled clone slots.
+func (p *planner) newWorkspace(iteration int, candID, activeSize int) *pathWorkspace {
+	if p.refitMode != SpecRefitIncremental {
+		return &pathWorkspace{scratch: p.newModelSet(int64(iteration)*4_000_000_007+int64(candID), activeSize)}
+	}
+	if ws, ok := p.wsPool.Get().(*pathWorkspace); ok {
+		return ws
+	}
+	return &pathWorkspace{}
+}
+
+// releaseWorkspace recycles an incremental-mode workspace; Full-mode scratch
+// sets are deliberately not reused, their rng streams are per-candidate.
+func (p *planner) releaseWorkspace(ws *pathWorkspace) {
+	if p.refitMode == SpecRefitIncremental {
+		p.wsPool.Put(ws)
+	}
+}
+
 // specState is the state Σ of one node of an exploration path: the
 // (speculated) training set, the untested configurations, the remaining
 // budget, and the currently deployed configuration.
@@ -464,21 +602,47 @@ func clampProb(p float64) float64 {
 
 // eligible returns the candidates whose predicted cost fits within the
 // remaining budget with the configured confidence (Algorithm 1, line 23 and
-// Algorithm 2, line 22).
-func (p *planner) eligible(untested []candidate, ms *modelSet, budget float64) ([]candidate, []numeric.Gaussian, [][]numeric.Gaussian, error) {
-	out := make([]candidate, 0, len(untested))
-	costPreds := make([]numeric.Gaussian, 0, len(untested))
-	extraPreds := make([][]numeric.Gaussian, 0, len(untested))
+// Algorithm 2, line 22). A non-nil buf recycles the output slices across
+// calls (the returned slices alias it and are only valid until the next call
+// with the same buf); a nil buf allocates fresh slices the caller may retain.
+func (p *planner) eligible(untested []candidate, ms *modelSet, budget float64, buf *eligibleBuf) ([]candidate, []numeric.Gaussian, [][]numeric.Gaussian, error) {
+	var out []candidate
+	var costPreds []numeric.Gaussian
+	var extraPreds [][]numeric.Gaussian
+	if buf != nil {
+		out = buf.cands[:0]
+		costPreds = buf.costPreds[:0]
+		extraPreds = buf.extraPreds[:0]
+	} else {
+		out = make([]candidate, 0, len(untested))
+		costPreds = make([]numeric.Gaussian, 0, len(untested))
+		extraPreds = make([][]numeric.Gaussian, 0, len(untested))
+	}
 	for _, u := range untested {
 		costPred, extras, err := ms.predictCand(u)
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		if costPred.ProbLE(budget) >= p.params.EligibilityProb {
+		var ok bool
+		if p.eligUseZ {
+			if costPred.StdDev == 0 {
+				ok = budget >= costPred.Mean
+			} else {
+				ok = budget >= costPred.Mean+p.eligZ*costPred.StdDev
+			}
+		} else {
+			ok = costPred.ProbLE(budget) >= p.params.EligibilityProb
+		}
+		if ok {
 			out = append(out, u)
 			costPreds = append(costPreds, costPred)
 			extraPreds = append(extraPreds, extras)
 		}
+	}
+	if buf != nil {
+		buf.cands = out
+		buf.costPreds = costPreds
+		buf.extraPreds = extraPreds
 	}
 	return out, costPreds, extraPreds, nil
 }
@@ -486,9 +650,10 @@ func (p *planner) eligible(untested []candidate, ms *modelSet, budget float64) (
 // nextStep selects the configuration explored at depth ≥ 2 of a path: the
 // eligible untested configuration with the highest EIc under the speculated
 // state (Algorithm 2, NextStep). inc is the state's incumbent, computed once
-// by the caller and shared with the recursive path evaluation.
-func (p *planner) nextStep(state *specState, ms *modelSet, inc float64, extraNames []string) (candidate, bool, error) {
-	eligible, costPreds, extraPreds, err := p.eligible(state.untested, ms, state.budget)
+// by the caller and shared with the recursive path evaluation. buf recycles
+// the eligibility sweep's buffers across speculated outcomes (nil allocates).
+func (p *planner) nextStep(state *specState, ms *modelSet, inc float64, extraNames []string, buf *eligibleBuf) (candidate, bool, error) {
+	eligible, costPreds, extraPreds, err := p.eligible(state.untested, ms, state.budget, buf)
 	if err != nil {
 		return candidate{}, false, err
 	}
@@ -515,11 +680,12 @@ func (p *planner) nextStep(state *specState, ms *modelSet, inc float64, extraNam
 // the given state, speculating on the remaining lookahead steps.
 //
 // models must be trained on state.train and inc must be the incumbent of
-// (state, models); scratch is an independent model set that explorePaths may
-// refit freely for deeper speculation levels (it is the per-candidate
-// workspace that keeps path evaluations independent across goroutines, with
-// its random stream split deterministically from the candidate ID).
-func (p *planner) explorePaths(state *specState, models *modelSet, inc float64, cand candidate, lookahead int, scratch *modelSet, extraNames []string) (reward, cost float64, err error) {
+// (state, models); ws is the per-candidate model workspace that keeps path
+// evaluations independent across goroutines — in Full mode a scratch set
+// explorePaths refits freely (random stream split deterministically from the
+// candidate ID), in Incremental mode a stack of clone slots indexed by the
+// speculation depth (0 at the root call).
+func (p *planner) explorePaths(state *specState, models *modelSet, inc float64, cand candidate, lookahead int, ws *pathWorkspace, depth int, extraNames []string) (reward, cost float64, err error) {
 	costPred, extraPreds, err := models.predictCand(cand)
 	if err != nil {
 		return 0, 0, err
@@ -600,14 +766,32 @@ func (p *planner) explorePaths(state *specState, models *modelSet, inc float64, 
 			budget:   state.budget - specCost - setup,
 			deployed: childDeployed,
 		}
-		if err := p.refit(scratch, childState.train); err != nil {
-			return 0, 0, err
+		var childModels *modelSet
+		if p.refitMode == SpecRefitIncremental {
+			// Incremental fast path: snapshot the parent models into this
+			// depth's clone slot and fold the one speculated sample in. The
+			// clone inherits the parent's prediction memo, and the update
+			// only drops the entries its single touched tree region can
+			// move — the following incumbent/eligibility sweeps then cost
+			// O(changed) model evaluations instead of a full refit + sweep.
+			childModels = ws.cloneSlot(p, depth)
+			if err := childModels.cloneFrom(models); err != nil {
+				return 0, 0, err
+			}
+			if err := childModels.update(cand.features, specCost, specExtras); err != nil {
+				return 0, 0, err
+			}
+		} else {
+			if err := p.refit(ws.scratch, childState.train); err != nil {
+				return 0, 0, err
+			}
+			childModels = ws.scratch
 		}
-		childInc, err := p.incumbent(childState, scratch)
+		childInc, err := p.incumbent(childState, childModels)
 		if err != nil {
 			return 0, 0, err
 		}
-		next, ok, err := p.nextStep(childState, scratch, childInc, extraNames)
+		next, ok, err := p.nextStep(childState, childModels, childInc, extraNames, &ws.elig)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -616,7 +800,7 @@ func (p *planner) explorePaths(state *specState, models *modelSet, inc float64, 
 			// path terminates here (Algorithm 2, lines 15-16).
 			continue
 		}
-		subReward, subCost, err := p.explorePaths(childState, scratch, childInc, next, lookahead-1, scratch, extraNames)
+		subReward, subCost, err := p.explorePaths(childState, childModels, childInc, next, lookahead-1, ws, depth+1, extraNames)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -722,7 +906,7 @@ func (p *planner) nextConfig(h *optimizer.History, remainingBudget float64) (con
 		deployed: h.Deployed(),
 	}
 
-	eligible, costPreds, extraPreds, err := p.eligible(untested, rootModels, remainingBudget)
+	eligible, costPreds, extraPreds, err := p.eligible(untested, rootModels, remainingBudget, nil)
 	if err != nil {
 		return configspace.Config{}, false, err
 	}
@@ -744,11 +928,12 @@ func (p *planner) nextConfig(h *optimizer.History, remainingBudget float64) (con
 	iteration := p.iteration
 	active := len(untested)
 	evalPath := func(cand candidate) (pathScore, error) {
-		scratch := p.newModelSet(int64(iteration)*4_000_000_007+int64(cand.id), active)
-		reward, cost, err := p.explorePaths(rootState, rootModels, rootInc, cand, p.params.Lookahead, scratch, extraNames)
+		ws := p.newWorkspace(iteration, cand.id, active)
+		reward, cost, err := p.explorePaths(rootState, rootModels, rootInc, cand, p.params.Lookahead, ws, 0, extraNames)
 		if err != nil {
 			return pathScore{}, err
 		}
+		p.releaseWorkspace(ws)
 		return pathScore{candidateID: cand.id, reward: reward, cost: cost}, nil
 	}
 

@@ -138,7 +138,7 @@ func TestEligibleFiltersOnBudget(t *testing.T) {
 	}
 
 	// With an enormous budget every untested configuration is eligible.
-	all, _, _, err := p.eligible(untested, ms, 1e9)
+	all, _, _, err := p.eligible(untested, ms, 1e9, nil)
 	if err != nil {
 		t.Fatalf("eligible error: %v", err)
 	}
@@ -146,7 +146,7 @@ func TestEligibleFiltersOnBudget(t *testing.T) {
 		t.Errorf("eligible with huge budget = %d, want %d", len(all), len(untested))
 	}
 	// With a zero budget nothing is eligible.
-	none, _, _, err := p.eligible(untested, ms, 0)
+	none, _, _, err := p.eligible(untested, ms, 0, nil)
 	if err != nil {
 		t.Fatalf("eligible error: %v", err)
 	}
@@ -188,7 +188,7 @@ func TestNextStepPrefersHighEIc(t *testing.T) {
 	if err != nil {
 		t.Fatalf("incumbent error: %v", err)
 	}
-	next, ok, err := p.nextStep(state, ms, inc, extraNames)
+	next, ok, err := p.nextStep(state, ms, inc, extraNames, nil)
 	if err != nil {
 		t.Fatalf("nextStep error: %v", err)
 	}
@@ -218,7 +218,7 @@ func TestNextStepPrefersHighEIc(t *testing.T) {
 
 	// With a zero budget there is no next step.
 	empty := &specState{train: train, untested: untested, budget: 0}
-	if _, ok, err := p.nextStep(empty, ms, inc, extraNames); err != nil || ok {
+	if _, ok, err := p.nextStep(empty, ms, inc, extraNames, nil); err != nil || ok {
 		t.Errorf("nextStep with zero budget = %v, %v, want not-ok", ok, err)
 	}
 }

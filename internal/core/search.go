@@ -50,6 +50,27 @@ func resolveStrategy(explicit SearchStrategy, spaceSize int) SearchStrategy {
 	return Sampled{}
 }
 
+// strategyCandidateBound returns an upper bound on the number of candidates
+// the strategy hands the planner per decision. It sizes the SpecRefitAuto
+// resolution: custom strategies conservatively report the space size.
+func strategyCandidateBound(s SearchStrategy, spaceSize int) int {
+	switch t := s.(type) {
+	case Exhaustive:
+		return spaceSize
+	case Sampled:
+		size := t.Size
+		if size <= 0 {
+			size = DefaultSampleSize
+		}
+		if size > spaceSize {
+			return spaceSize
+		}
+		return size
+	default:
+		return spaceSize
+	}
+}
+
 // Exhaustive considers every untested configuration at every decision — the
 // paper's behavior. Recommendations are bitwise-identical to the
 // pre-strategy planner (pinned by the golden campaign tests), which makes it

@@ -116,6 +116,43 @@ func TestSampledDegeneratesToExhaustive(t *testing.T) {
 	}
 }
 
+func TestSampledSizeAtLeastSpaceIsExhaustiveAndDeterministic(t *testing.T) {
+	space := searchSpace(t, 50)
+	none := func(int) bool { return false }
+	for _, size := range []int{50, 51, 1024} {
+		s := Sampled{Size: size}
+		var first []int
+		// The selection must be the full untested set in increasing ID order,
+		// identical across iterations and seeds (nothing left to sample).
+		for _, key := range []struct {
+			iter int
+			seed int64
+		}{{0, 1}, {7, 1}, {0, 99}} {
+			ids, err := s.Select(space, none, space.Size(), key.iter, key.seed)
+			if err != nil {
+				t.Fatalf("Select(size=%d, iter=%d, seed=%d): %v", size, key.iter, key.seed, err)
+			}
+			if len(ids) != space.Size() {
+				t.Fatalf("size=%d returned %d ids, want the whole space (%d)", size, len(ids), space.Size())
+			}
+			for i, id := range ids {
+				if id != i {
+					t.Fatalf("size=%d ids = %v, want 0..%d", size, ids, space.Size()-1)
+				}
+			}
+			if first == nil {
+				first = ids
+				continue
+			}
+			for i := range ids {
+				if ids[i] != first[i] {
+					t.Fatalf("degenerate selection varies with (iteration, seed): %v vs %v", ids, first)
+				}
+			}
+		}
+	}
+}
+
 func TestSampledRankedFallback(t *testing.T) {
 	space := searchSpace(t, 1_000)
 	tested := func(id int) bool { return id%3 != 0 }

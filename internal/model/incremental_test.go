@@ -1,0 +1,216 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/bagging"
+	"repro/internal/gp"
+	"repro/internal/numeric"
+)
+
+// incCols builds the column-major matrix of a small 2-feature grid and the
+// row accessor tests use to cross-check memo behavior.
+func incCols(n int) ([][]float64, func(id int) []float64) {
+	cols := make([][]float64, 2)
+	cols[0] = make([]float64, n)
+	cols[1] = make([]float64, n)
+	for i := 0; i < n; i++ {
+		cols[0][i] = float64(i % 6)
+		cols[1][i] = float64(i / 6)
+	}
+	return cols, func(id int) []float64 { return []float64{cols[0][id], cols[1][id]} }
+}
+
+func fittedIncCached(t *testing.T, size int) (*Cached, [][]float64, func(int) []float64) {
+	t.Helper()
+	features, targets := trainingData()
+	c := NewCached(bagging.New(bagging.Params{NumTrees: 8, Incremental: true}, 3), size)
+	if err := c.Fit(features, targets); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	cols, rowOf := incCols(size)
+	if err := c.Prefill(cols); err != nil {
+		t.Fatalf("Prefill: %v", err)
+	}
+	return c, cols, rowOf
+}
+
+func TestCachedSupportsIncremental(t *testing.T) {
+	inc := NewCached(bagging.New(bagging.Params{Incremental: true}, 1), 4)
+	if !inc.SupportsIncremental() {
+		t.Error("bagging-backed Cached does not report incremental support")
+	}
+	g := NewCached(gp.New(gp.Params{}), 4)
+	if g.SupportsIncremental() {
+		t.Error("gp-backed Cached claims incremental support")
+	}
+	if err := g.Update([]float64{0, 0}, 1); err == nil {
+		t.Error("Update on a non-incremental Cached did not fail")
+	}
+	if err := g.CloneFrom(g); err == nil {
+		t.Error("CloneFrom with a non-incremental source did not fail")
+	}
+}
+
+func TestCachedUpdateKeepsUnchangedEntriesAndRefreshesChanged(t *testing.T) {
+	const size = 24
+	c, _, rowOf := fittedIncCached(t, size)
+	inner := c.inner.(IncrementalRegressor)
+
+	before := make([]numeric.Gaussian, size)
+	for id := 0; id < size; id++ {
+		p, err := c.PredictID(id, rowOf(id))
+		if err != nil {
+			t.Fatalf("PredictID: %v", err)
+		}
+		before[id] = p
+	}
+	gen := c.Generation()
+	if err := c.Update(rowOf(7), 42); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if c.Generation() != gen+1 {
+		t.Fatalf("Generation after Update = %d, want %d", c.Generation(), gen+1)
+	}
+	for id := 0; id < size; id++ {
+		row := rowOf(id)
+		want, err := inner.Predict(row)
+		if err != nil {
+			t.Fatalf("inner Predict: %v", err)
+		}
+		got, err := c.PredictID(id, row)
+		if err != nil {
+			t.Fatalf("PredictID after Update: %v", err)
+		}
+		if got != want {
+			t.Fatalf("memoized prediction %d = %+v, want inner %+v", id, got, want)
+		}
+		if !inner.AffectedByLastUpdate(row) && got != before[id] {
+			t.Fatalf("unaffected entry %d moved: %+v -> %+v", id, before[id], got)
+		}
+	}
+}
+
+// TestCachedUpdateSkipsRecomputeForUnaffectedEntries counts inner Predict
+// calls: after a one-sample update, re-reading the memo must only recompute
+// the entries the update could have changed.
+func TestCachedUpdateSkipsRecomputeForUnaffectedEntries(t *testing.T) {
+	const size = 24
+	features, targets := trainingData()
+	counter := &countingRegressor{inner: bagging.New(bagging.Params{NumTrees: 8, Incremental: true}, 3)}
+	c := NewCached(counter, size)
+	if err := c.Fit(features, targets); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	cols, rowOf := incCols(size)
+	if err := c.Prefill(cols); err != nil {
+		t.Fatalf("Prefill: %v", err)
+	}
+
+	if err := c.Update(rowOf(7), 42); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	affected := 0
+	for id := 0; id < size; id++ {
+		if counter.inner.AffectedByLastUpdate(rowOf(id)) {
+			affected++
+		}
+	}
+	counter.predicts = 0
+	for id := 0; id < size; id++ {
+		if _, err := c.PredictID(id, rowOf(id)); err != nil {
+			t.Fatalf("PredictID: %v", err)
+		}
+	}
+	if counter.predicts != affected {
+		t.Fatalf("memo recomputed %d entries after update, want exactly the %d affected ones", counter.predicts, affected)
+	}
+	if affected == size {
+		t.Fatalf("degenerate fixture: every entry affected, selective invalidation untested")
+	}
+}
+
+func TestCachedCloneFromIsIndependent(t *testing.T) {
+	const size = 24
+	src, _, rowOf := fittedIncCached(t, size)
+	dst := NewCached(bagging.New(bagging.Params{NumTrees: 8, Incremental: true}, 99), 0)
+	if err := dst.CloneFrom(src); err != nil {
+		t.Fatalf("CloneFrom: %v", err)
+	}
+	srcBefore := make([]numeric.Gaussian, size)
+	for id := 0; id < size; id++ {
+		p, err := src.PredictID(id, rowOf(id))
+		if err != nil {
+			t.Fatalf("PredictID: %v", err)
+		}
+		srcBefore[id] = p
+		q, err := dst.PredictID(id, rowOf(id))
+		if err != nil {
+			t.Fatalf("clone PredictID: %v", err)
+		}
+		if q != p {
+			t.Fatalf("clone prediction %d = %+v, want %+v", id, q, p)
+		}
+	}
+	// Updating the clone must leave the source untouched and selectively
+	// invalidate the clone's memo using the shared feature matrix.
+	for i := 0; i < 4; i++ {
+		if err := dst.Update(rowOf(3), 77); err != nil {
+			t.Fatalf("clone Update: %v", err)
+		}
+	}
+	for id := 0; id < size; id++ {
+		p, err := src.PredictID(id, rowOf(id))
+		if err != nil {
+			t.Fatalf("PredictID: %v", err)
+		}
+		if p != srcBefore[id] {
+			t.Fatalf("source moved after clone update at %d: %+v -> %+v", id, srcBefore[id], p)
+		}
+	}
+	moved := false
+	for id := 0; id < size; id++ {
+		q, err := dst.PredictID(id, rowOf(id))
+		if err != nil {
+			t.Fatalf("clone PredictID: %v", err)
+		}
+		want, err := dst.inner.Predict(rowOf(id))
+		if err != nil {
+			t.Fatalf("clone inner Predict: %v", err)
+		}
+		if q != want {
+			t.Fatalf("clone memo %d = %+v, want %+v", id, q, want)
+		}
+		if q != srcBefore[id] {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("repeated clone updates changed no prediction; fixture too weak")
+	}
+}
+
+// countingRegressor wraps an incremental ensemble and counts scalar Predict
+// calls. It deliberately does not forward PredictBatch, so Cached sweeps it
+// point by point through the counter.
+type countingRegressor struct {
+	inner    *bagging.Ensemble
+	predicts int
+}
+
+func (c *countingRegressor) Fit(features [][]float64, targets []float64) error {
+	return c.inner.Fit(features, targets)
+}
+
+func (c *countingRegressor) Predict(x []float64) (numeric.Gaussian, error) {
+	c.predicts++
+	return c.inner.Predict(x)
+}
+
+func (c *countingRegressor) Update(x []float64, y float64) error { return c.inner.Update(x, y) }
+
+func (c *countingRegressor) AffectedByLastUpdate(x []float64) bool {
+	return c.inner.AffectedByLastUpdate(x)
+}
+
+func (c *countingRegressor) CloneInto(dst any) error { return c.inner.CloneInto(dst) }

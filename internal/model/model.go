@@ -44,13 +44,67 @@ type BatchRegressor interface {
 	PredictBatch(cols [][]float64, out []numeric.Gaussian) error
 }
 
+// BatchAffectedRegressor is an optional extension of IncrementalRegressor:
+// AffectedByLastUpdateBatch answers AffectedByLastUpdate for every point of
+// a column-major feature matrix in one sweep, which lets Cached.Update run
+// its selective invalidation without gathering rows or re-walking trees per
+// memo entry.
+type BatchAffectedRegressor interface {
+	AffectedByLastUpdateBatch(cols [][]float64, out []bool) error
+}
+
+// IncrementalRegressor is implemented by regressors that can fold one sample
+// into their fitted state without a full refit, and that can snapshot that
+// state into another instance of the same concrete type. The planner's
+// speculative path uses it to turn the per-speculation full refit into a
+// clone plus a one-sample update (core.Params.SpeculativeRefit).
+//
+// Implementations must be deterministic: the model that results from cloning
+// a fitted source and applying a fixed sample sequence may depend only on the
+// source's state and the sequence, never on goroutine scheduling — this is
+// what keeps incremental planning worker-count independent.
+type IncrementalRegressor interface {
+	Regressor
+	// Update folds one training sample into the fitted model.
+	Update(x []float64, y float64) error
+	// AffectedByLastUpdate reports whether the last Update may have changed
+	// the prediction at x. False negatives are forbidden (a changed
+	// prediction must be flagged); false positives only cost a recompute.
+	AffectedByLastUpdate(x []float64) bool
+	// CloneInto deep-copies the fitted state into dst, which must be an
+	// instance of the same concrete type (typically from the same Factory),
+	// reusing dst's storage where possible. It must not mutate the receiver,
+	// so concurrent clones from one source are safe.
+	CloneInto(dst any) error
+}
+
+// SupportsIncremental reports whether a regressor can serve the incremental
+// speculative-refit path: it must implement IncrementalRegressor, and — when
+// it additionally exposes an IncrementalCapable() configuration probe, as
+// the bagging ensemble does — be configured to retain incremental state on
+// Fit. The planner probes a factory product with this before resolving to
+// the incremental mode, so a bagging factory built without
+// bagging.Params.Incremental falls back to full refits up front instead of
+// failing at the first speculative clone.
+func SupportsIncremental(r Regressor) bool {
+	if _, ok := r.(IncrementalRegressor); !ok {
+		return false
+	}
+	if c, ok := r.(interface{ IncrementalCapable() bool }); ok {
+		return c.IncrementalCapable()
+	}
+	return true
+}
+
 // Statically assert that the concrete learners satisfy Regressor and the
-// batch extension.
+// batch/incremental extensions.
 var (
-	_ Regressor      = (*bagging.Ensemble)(nil)
-	_ Regressor      = (*gp.GP)(nil)
-	_ BatchRegressor = (*bagging.Ensemble)(nil)
-	_ BatchRegressor = (*gp.GP)(nil)
+	_ Regressor              = (*bagging.Ensemble)(nil)
+	_ Regressor              = (*gp.GP)(nil)
+	_ BatchRegressor         = (*bagging.Ensemble)(nil)
+	_ BatchRegressor         = (*gp.GP)(nil)
+	_ IncrementalRegressor   = (*bagging.Ensemble)(nil)
+	_ BatchAffectedRegressor = (*bagging.Ensemble)(nil)
 )
 
 // BaggingFactory builds bagging ensembles of regression trees (the paper's
@@ -136,10 +190,19 @@ type Cached struct {
 	gen   int
 	memo  []cachedPred
 
-	// Scratch reused by Prefill: the batch output buffer and, for inner
-	// regressors without a batch path, one gathered feature row.
-	preds []numeric.Gaussian
-	row   []float64
+	// lastCols remembers the column-major feature matrix of the last Prefill
+	// (cols[d][id] is feature d of the configuration in memo slot id). It is
+	// what lets Update re-tag memo entries whose predictions provably did not
+	// move instead of dropping the whole memo. Read-only; shared by clones.
+	lastCols [][]float64
+
+	// Scratch reused by Prefill and Update: the batch prediction and
+	// affected-flag buffers, a column-view header, and one gathered feature
+	// row for inner regressors without the batch extensions.
+	preds    []numeric.Gaussian
+	affected []bool
+	colView  [][]float64
+	row      []float64
 }
 
 // NewCached wraps inner with a memo for configuration IDs in [0, size).
@@ -147,8 +210,8 @@ func NewCached(inner Regressor, size int) *Cached {
 	return &Cached{inner: inner, memo: make([]cachedPred, size)}
 }
 
-// Generation returns the number of completed fits; predictions memoized under
-// older generations are stale.
+// Generation returns the number of completed fits and updates; predictions
+// memoized under older generations are stale.
 func (c *Cached) Generation() int { return c.gen }
 
 // Fit trains the wrapped model and invalidates the memo.
@@ -210,24 +273,16 @@ func (c *Cached) Prefill(cols [][]float64) error {
 	if n == 0 {
 		return nil
 	}
-	trimmed := false
 	for d, col := range cols {
 		if len(col) < n {
 			return fmt.Errorf("model: feature column %d has %d points, want at least %d", d, len(col), n)
 		}
-		trimmed = trimmed || len(col) > n
 	}
 	gen := c.gen + memoGenOffset
+	c.lastCols = cols
 	if batch, ok := c.inner.(BatchRegressor); ok {
-		if trimmed {
-			// PredictBatch requires len(col) == len(out) exactly; present a
-			// view of the first n points of each column.
-			view := make([][]float64, len(cols))
-			for d, col := range cols {
-				view[d] = col[:n]
-			}
-			cols = view
-		}
+		// PredictBatch requires len(col) == len(out) exactly.
+		cols = c.viewFirstN(cols, n)
 		if cap(c.preds) < n {
 			c.preds = make([]numeric.Gaussian, n)
 		}
@@ -254,6 +309,124 @@ func (c *Cached) Prefill(cols [][]float64) error {
 		}
 		c.memo[id] = cachedPred{gen: gen, pred: pred}
 	}
+	return nil
+}
+
+// viewFirstN returns a column view covering exactly the first n points of
+// each column, reusing the colView header when any column needs trimming;
+// cols is returned as-is when every column is already exactly n long. The
+// batch sweeps of Prefill and Update both require exact-length columns.
+func (c *Cached) viewFirstN(cols [][]float64, n int) [][]float64 {
+	trimmed := false
+	for _, col := range cols {
+		if len(col) > n {
+			trimmed = true
+			break
+		}
+	}
+	if !trimmed {
+		return cols
+	}
+	if cap(c.colView) < len(cols) {
+		c.colView = make([][]float64, len(cols))
+	}
+	view := c.colView[:len(cols)]
+	for d, col := range cols {
+		view[d] = col[:n]
+	}
+	return view
+}
+
+// SupportsIncremental reports whether the wrapped regressor implements
+// IncrementalRegressor, i.e. whether Update and CloneFrom apply.
+func (c *Cached) SupportsIncremental() bool {
+	_, ok := c.inner.(IncrementalRegressor)
+	return ok
+}
+
+// Update folds one sample into the wrapped incremental model and selectively
+// invalidates the prediction memo: the generation is bumped, but entries
+// whose predictions cannot have changed — per AffectedByLastUpdate over the
+// feature matrix of the last Prefill — are carried into the new generation.
+// After a one-sample update most of the candidate set keeps its memoized
+// prediction, which is what makes the planner's incremental speculation sweep
+// in O(changed) instead of O(candidates) model evaluations.
+//
+// Without a preceding Prefill there is no feature source to check against,
+// so the whole memo goes stale (correct, just slower). Update mutates the
+// memo and must not run concurrently with other calls on the same Cached.
+func (c *Cached) Update(x []float64, y float64) error {
+	inc, ok := c.inner.(IncrementalRegressor)
+	if !ok {
+		return fmt.Errorf("model: regressor %T does not support incremental updates", c.inner)
+	}
+	if err := inc.Update(x, y); err != nil {
+		return err
+	}
+	oldGen := c.gen + memoGenOffset
+	c.gen++
+	newGen := c.gen + memoGenOffset
+	cols := c.lastCols
+	if len(cols) == 0 {
+		return nil
+	}
+	n := len(c.memo)
+	for _, col := range cols {
+		if len(col) < n {
+			n = len(col)
+		}
+	}
+	if batch, ok := c.inner.(BatchAffectedRegressor); ok {
+		if cap(c.affected) < n {
+			c.affected = make([]bool, n)
+		}
+		affected := c.affected[:n]
+		if err := batch.AffectedByLastUpdateBatch(c.viewFirstN(cols, n), affected); err != nil {
+			return err
+		}
+		for id := 0; id < n; id++ {
+			if e := &c.memo[id]; e.gen == oldGen && !affected[id] {
+				e.gen = newGen
+			}
+		}
+		return nil
+	}
+	if cap(c.row) < len(cols) {
+		c.row = make([]float64, len(cols))
+	}
+	row := c.row[:len(cols)]
+	for id := 0; id < n; id++ {
+		e := &c.memo[id]
+		if e.gen != oldGen {
+			continue
+		}
+		for d, col := range cols {
+			row[d] = col[id]
+		}
+		if !inc.AffectedByLastUpdate(row) {
+			e.gen = newGen
+		}
+	}
+	return nil
+}
+
+// CloneFrom snapshots src — fitted model state, memo, generation, and the
+// feature matrix reference for selective invalidation — into the receiver,
+// reusing its storage. The receiver's inner regressor must be an instance of
+// the same concrete type as src's (typically both from one Factory).
+// CloneFrom only reads src, so concurrent clones from one source are safe;
+// the receiver must be private to the caller.
+func (c *Cached) CloneFrom(src *Cached) error {
+	inc, ok := src.inner.(IncrementalRegressor)
+	if !ok {
+		return fmt.Errorf("model: source regressor %T does not support incremental cloning", src.inner)
+	}
+	if err := inc.CloneInto(c.inner); err != nil {
+		return err
+	}
+	c.gen = src.gen
+	c.memo = append(c.memo[:0], src.memo...)
+	c.lastCols = src.lastCols
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/configspace"
 	"repro/internal/dataset"
@@ -71,10 +72,14 @@ func (e *JobEnvironment) UnitPricePerHour(cfg configspace.Config) (float64, erro
 // is what keeps huge streaming spaces cheap to plan over. A zero entry means
 // "not fetched yet"; environments must report strictly positive prices.
 //
-// Not safe for concurrent use: fetch prices before fanning out.
+// Safe for concurrent lazy fetches: hits take a shared read lock, and
+// concurrent first fetches of one ID agree because prices are deterministic
+// per ID. Under contention the environment may be queried more than once for
+// the same ID, but every caller observes the same value.
 type PriceCache struct {
 	env    Environment
 	space  *configspace.Space
+	mu     sync.RWMutex
 	prices []float64
 }
 
@@ -86,7 +91,10 @@ func NewPriceCache(env Environment) *PriceCache {
 // UnitPrice returns the memoized unit price of the configuration with the
 // given ID, fetching and validating it on first use.
 func (c *PriceCache) UnitPrice(id int) (float64, error) {
-	if v := c.prices[id]; v > 0 {
+	c.mu.RLock()
+	v := c.prices[id]
+	c.mu.RUnlock()
+	if v > 0 {
 		return v, nil
 	}
 	cfg, err := c.space.ConfigView(id)
@@ -100,7 +108,9 @@ func (c *PriceCache) UnitPrice(id int) (float64, error) {
 	if price <= 0 {
 		return 0, fmt.Errorf("optimizer: non-positive unit price %v for config %d", price, id)
 	}
+	c.mu.Lock()
 	c.prices[id] = price
+	c.mu.Unlock()
 	return price, nil
 }
 

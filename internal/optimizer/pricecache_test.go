@@ -1,0 +1,111 @@
+package optimizer
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/configspace"
+)
+
+// countingPriceEnv wraps a JobEnvironment and counts UnitPricePerHour calls.
+type countingPriceEnv struct {
+	*JobEnvironment
+	calls atomic.Int64
+}
+
+func (e *countingPriceEnv) UnitPricePerHour(cfg configspace.Config) (float64, error) {
+	e.calls.Add(1)
+	return e.JobEnvironment.UnitPricePerHour(cfg)
+}
+
+func TestPriceCacheLazyFetchAndMemoization(t *testing.T) {
+	env := &countingPriceEnv{JobEnvironment: fixtureEnv(t)}
+	cache := NewPriceCache(env)
+	if env.calls.Load() != 0 {
+		t.Fatalf("cache creation fetched %d prices, want lazy", env.calls.Load())
+	}
+	want, err := env.UnitPricePerHour(mustConfig(t, env.Space(), 3))
+	if err != nil {
+		t.Fatalf("UnitPricePerHour: %v", err)
+	}
+	env.calls.Store(0)
+	for i := 0; i < 5; i++ {
+		got, err := cache.UnitPrice(3)
+		if err != nil {
+			t.Fatalf("UnitPrice: %v", err)
+		}
+		if got != want {
+			t.Fatalf("UnitPrice = %v, want %v", got, want)
+		}
+	}
+	if env.calls.Load() != 1 {
+		t.Fatalf("environment queried %d times for one ID, want 1", env.calls.Load())
+	}
+}
+
+// TestPriceCacheConcurrentLazyFetches hammers one cache with concurrent
+// first-touch fetches across the whole space; run under -race this pins the
+// concurrency contract the planner's parallel fan-out relies on.
+func TestPriceCacheConcurrentLazyFetches(t *testing.T) {
+	env := &countingPriceEnv{JobEnvironment: fixtureEnv(t)}
+	cache := NewPriceCache(env)
+	size := env.Space().Size()
+
+	want := make([]float64, size)
+	for id := 0; id < size; id++ {
+		v, err := env.JobEnvironment.UnitPricePerHour(mustConfig(t, env.Space(), id))
+		if err != nil {
+			t.Fatalf("UnitPricePerHour(%d): %v", id, err)
+		}
+		want[id] = v
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine sweeps the space from a different offset, so
+			// first touches collide from the start.
+			for k := 0; k < 3*size; k++ {
+				id := (k + g*size/goroutines) % size
+				got, err := cache.UnitPrice(id)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if got != want[id] {
+					errs[g] = &priceMismatch{id: id, got: got, want: want[id]}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+}
+
+type priceMismatch struct {
+	id        int
+	got, want float64
+}
+
+func (m *priceMismatch) Error() string {
+	return "price mismatch"
+}
+
+func mustConfig(t *testing.T, space *configspace.Space, id int) configspace.Config {
+	t.Helper()
+	cfg, err := space.ConfigView(id)
+	if err != nil {
+		t.Fatalf("ConfigView(%d): %v", id, err)
+	}
+	return cfg
+}

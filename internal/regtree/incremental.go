@@ -1,0 +1,409 @@
+package regtree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file implements the incremental-update extension of the regression
+// tree: a tree trained with TrainIncremental retains its training samples and
+// the per-leaf sample membership, which lets Insert fold one new sample into
+// the fitted tree — updating the covering leaf's mean and re-splitting the
+// leaf once it accumulates enough samples — instead of retraining from
+// scratch. The planner's speculative path uses it to turn per-speculation
+// full refits into one-sample updates (see core.Params.SpeculativeRefit).
+//
+// The split structure above the touched leaf is frozen: upper splits are not
+// revisited when a sample arrives, which is what makes Insert O(depth + leaf)
+// instead of O(n log n). The resulting tree therefore differs from one
+// retrained on the extended sample set; the ensemble layer relies only on
+// statistical, not bitwise, agreement between the two (enforced by the
+// planner's parity tests).
+
+// incState is the retained training state of an incrementally updatable tree.
+type incState struct {
+	params Params // normalized induction parameters, reused by re-splits
+
+	// cols is the column-major retained sample matrix (cols[f][i] is feature
+	// f of sample i) — the same layout grow consumes, so a leaf re-split runs
+	// the regular induction machinery over the leaf's sample indices.
+	cols    [][]float64
+	targets []float64
+
+	// leafSamples[node] lists the retained sample indices covered by that
+	// leaf; nil for internal nodes.
+	leafSamples [][]int32
+
+	// colArena and sampleArena back the cols / leafSamples storage of cloned
+	// trees, so CloneInto reuses one allocation per matrix instead of one per
+	// column or leaf. Slices handed out of the arenas are capacity-capped, so
+	// post-clone appends copy out instead of clobbering neighbors.
+	colArena    []float64
+	sampleArena []int32
+
+	// scratch backs leaf re-splits; built lazily, never cloned.
+	scratch *resplitScratch
+}
+
+// resplitScratch holds the buffers a leaf re-split reuses across Inserts.
+type resplitScratch struct {
+	indices []int
+	split   *splitScratch
+}
+
+// cloneColSlack is the spare capacity (in samples) each cloned column and the
+// target slice reserve, so the handful of Inserts a speculation clone receives
+// append in place instead of reallocating every column.
+const cloneColSlack = 8
+
+// TrainIncremental fits a tree exactly like Train — identical structure,
+// identical rng consumption — and additionally retains the training samples
+// and per-leaf membership required by Insert and deep Clone. The retained
+// matrix is a copy; the caller's rows are not referenced after return.
+func TrainIncremental(features [][]float64, targets []float64, params Params, rng *rand.Rand) (*Tree, error) {
+	t, err := Train(features, targets, params, rng)
+	if err != nil {
+		return nil, err
+	}
+	n := len(targets)
+	inc := &incState{
+		params:      params.withDefaults(),
+		cols:        make([][]float64, t.numFeatures),
+		targets:     append(make([]float64, 0, n+cloneColSlack), targets...),
+		leafSamples: make([][]int32, len(t.nodes)),
+	}
+	flat := make([]float64, t.numFeatures*(n+cloneColSlack))
+	for f := 0; f < t.numFeatures; f++ {
+		off := f * (n + cloneColSlack)
+		col := flat[off : off+n : off+n+cloneColSlack]
+		for i, row := range features {
+			col[i] = row[f]
+		}
+		inc.cols[f] = col
+	}
+	for i, row := range features {
+		leaf := t.leafIndex(row)
+		inc.leafSamples[leaf] = append(inc.leafSamples[leaf], int32(i))
+	}
+	t.inc = inc
+	return t, nil
+}
+
+// Incremental reports whether the tree retains the state needed by Insert.
+func (t *Tree) Incremental() bool { return t != nil && t.inc != nil }
+
+// Samples returns the number of retained training samples (0 for trees
+// without incremental state).
+func (t *Tree) Samples() int {
+	if t == nil || t.inc == nil {
+		return 0
+	}
+	return len(t.inc.targets)
+}
+
+// leafIndex walks the tree to the leaf covering x and returns its node index.
+func (t *Tree) leafIndex(x []float64) int32 {
+	nodes := t.nodes
+	i := int32(0)
+	for nodes[i].left >= 0 {
+		if x[nodes[i].feature] <= nodes[i].threshold {
+			i = nodes[i].left
+		} else {
+			i = nodes[i].right
+		}
+	}
+	return i
+}
+
+// Insert folds one sample into a tree trained with TrainIncremental: the
+// covering leaf's mean is updated with the new target, and once the leaf
+// holds at least MinSamplesSplit samples (and splitting is still admissible
+// under MaxDepth/MinLeafSize) the leaf is re-split in place by the regular
+// induction machinery over its retained samples. Splits above the leaf are
+// never revisited.
+//
+// Insert returns the index of the affected node — the former leaf, which
+// after a re-split roots the regrown subtree. Predictions of feature vectors
+// whose root-to-leaf walk does not pass through that node are unchanged (see
+// HitsNode); the ensemble layer uses this for selective memo invalidation.
+//
+// rng is only consumed when Params.FeatureFraction < 1 (it drives the
+// random-subspace draw of a re-split); it may be nil otherwise.
+func (t *Tree) Insert(x []float64, y float64, rng *rand.Rand) (int, error) {
+	if t == nil || len(t.nodes) == 0 {
+		return 0, errors.New("regtree: insert into untrained tree")
+	}
+	inc := t.inc
+	if inc == nil {
+		return 0, errors.New("regtree: insert into a tree without incremental state (use TrainIncremental)")
+	}
+	if len(x) != t.numFeatures {
+		return 0, fmt.Errorf("regtree: feature vector has %d columns, want %d", len(x), t.numFeatures)
+	}
+	if math.IsNaN(y) || math.IsInf(y, 0) {
+		return 0, fmt.Errorf("regtree: target is not finite: %v", y)
+	}
+	if inc.params.FeatureFraction < 1 && rng == nil {
+		return 0, errors.New("regtree: rng required when FeatureFraction < 1")
+	}
+
+	// Walk to the covering leaf, tracking its depth (root = 1) for the
+	// MaxDepth gate of a potential re-split.
+	nodes := t.nodes
+	i := int32(0)
+	depth := 1
+	for nodes[i].left >= 0 {
+		if x[nodes[i].feature] <= nodes[i].threshold {
+			i = nodes[i].left
+		} else {
+			i = nodes[i].right
+		}
+		depth++
+	}
+
+	// Retain the sample and attach it to the leaf.
+	si := int32(len(inc.targets))
+	for f := 0; f < t.numFeatures; f++ {
+		inc.cols[f] = append(inc.cols[f], x[f])
+	}
+	inc.targets = append(inc.targets, y)
+	samples := append(inc.leafSamples[i], si)
+	inc.leafSamples[i] = samples
+
+	// Recompute the leaf mean exactly from its samples (one short pass, which
+	// also yields the constant-target check of the re-split gate).
+	first := inc.targets[samples[0]]
+	sum := 0.0
+	constant := true
+	for _, s := range samples {
+		ys := inc.targets[s]
+		sum += ys
+		if ys != first {
+			constant = false
+		}
+	}
+	t.nodes[i].value = sum / float64(len(samples))
+
+	// Same gating as grow: too few samples, too deep, or constant targets
+	// keep the leaf as-is. This is the common case — most inserts stop here.
+	p := inc.params
+	if len(samples) < p.MinSamplesSplit || (p.MaxDepth > 0 && depth > p.MaxDepth) || constant {
+		return int(i), nil
+	}
+	t.resplitLeaf(i, depth, samples, rng)
+	return int(i), nil
+}
+
+// resplitLeaf regrows the subtree rooted at the given leaf from its retained
+// samples, appending any new nodes to the flat array and redistributing the
+// samples over the new leaves.
+func (t *Tree) resplitLeaf(i int32, depth int, samples []int32, rng *rand.Rand) {
+	inc := t.inc
+	sc := inc.ensureScratch(len(inc.targets), t.numFeatures)
+	idxs := sc.indices[:0]
+	for _, s := range samples {
+		idxs = append(idxs, int(s))
+	}
+	sc.indices = idxs
+
+	oldLeaves, oldDepth := t.leaves, t.depth
+	root := t.grow(inc.cols, inc.targets, idxs, inc.params, rng, depth, sc.split)
+	if root.leaf {
+		// No admissible split; grow counted a phantom leaf and the mean is
+		// already up to date.
+		t.leaves, t.depth = oldLeaves, oldDepth
+		return
+	}
+	// The old leaf is replaced by the subtree (whose leaves grow counted).
+	t.leaves--
+	t.nodes[i] = flatNode{feature: int32(root.feature), threshold: root.threshold}
+	left := t.flatten(root.left)
+	right := t.flatten(root.right)
+	t.nodes[i].left = left
+	t.nodes[i].right = right
+
+	for len(inc.leafSamples) < len(t.nodes) {
+		inc.leafSamples = append(inc.leafSamples, nil)
+	}
+	inc.leafSamples[i] = nil
+	for _, s := range samples {
+		leaf := t.descendSample(i, s)
+		inc.leafSamples[leaf] = append(inc.leafSamples[leaf], s)
+	}
+}
+
+// descendSample walks the retained sample s from the given node to its leaf.
+func (t *Tree) descendSample(start int32, s int32) int32 {
+	nodes := t.nodes
+	cols := t.inc.cols
+	i := start
+	for nodes[i].left >= 0 {
+		if cols[nodes[i].feature][s] <= nodes[i].threshold {
+			i = nodes[i].left
+		} else {
+			i = nodes[i].right
+		}
+	}
+	return i
+}
+
+// ensureScratch returns the re-split scratch sized for n samples.
+func (s *incState) ensureScratch(n, numFeatures int) *resplitScratch {
+	if s.scratch == nil {
+		s.scratch = &resplitScratch{}
+	}
+	sc := s.scratch
+	if sc.split == nil || cap(sc.split.pairs) < n {
+		sc.split = &splitScratch{
+			pairs:     make([]featTarget, n+cloneColSlack),
+			prefixSum: make([]float64, n+cloneColSlack+1),
+			prefixSq:  make([]float64, n+cloneColSlack+1),
+			features:  make([]int, numFeatures),
+			vals:      make([]valueAgg, 0, maxDistinctForBuckets),
+		}
+	}
+	return sc
+}
+
+// PathStep is one split constraint on the root-to-node path returned by
+// AppendPathTo: points satisfying (x[Feature] <= Threshold) == Left stay on
+// the path at that split.
+type PathStep struct {
+	Threshold float64
+	Feature   int32
+	Left      bool
+}
+
+// AppendPathTo appends the split constraints of the root-to-node path for
+// the given node index to out and returns it, with ok=false when the index
+// does not name a node of the tree. A feature vector reaches the node iff it
+// satisfies every returned step — checking the steps directly is cheaper
+// than a full root-to-leaf walk because the check can stop at the first
+// violated constraint, which for points far from the node is the very first
+// one. The bagging ensemble sweeps candidate sets with it to bound which
+// predictions a one-sample update can have moved.
+func (t *Tree) AppendPathTo(node int, out []PathStep) ([]PathStep, bool) {
+	if t == nil || node < 0 || node >= len(t.nodes) {
+		return out, false
+	}
+	return t.pathTo(0, int32(node), out)
+}
+
+// pathTo extends out with the steps from cur to target, depth-first.
+func (t *Tree) pathTo(cur, target int32, out []PathStep) ([]PathStep, bool) {
+	if cur == target {
+		return out, true
+	}
+	n := t.nodes[cur]
+	if n.left < 0 {
+		return out, false
+	}
+	out = append(out, PathStep{Feature: n.feature, Threshold: n.threshold, Left: true})
+	if res, ok := t.pathTo(n.left, target, out); ok {
+		return res, true
+	}
+	out[len(out)-1].Left = false
+	if res, ok := t.pathTo(n.right, target, out); ok {
+		return res, true
+	}
+	return out[:len(out)-1], false
+}
+
+// HitsNode reports whether the prediction walk for x passes through the node
+// with the given index. After an Insert that returned node n, the tree's
+// prediction for x can only have changed when HitsNode(x, n) is true — the
+// update touched nothing outside that node's region.
+func (t *Tree) HitsNode(x []float64, node int) bool {
+	nodes := t.nodes
+	target := int32(node)
+	i := int32(0)
+	for {
+		if i == target {
+			return true
+		}
+		if nodes[i].left < 0 {
+			return false
+		}
+		if x[nodes[i].feature] <= nodes[i].threshold {
+			i = nodes[i].left
+		} else {
+			i = nodes[i].right
+		}
+	}
+}
+
+// Clone returns an independent deep copy of the tree, including any retained
+// incremental state: the copy can Insert freely without affecting the
+// original. Cloning reads the source without mutating it, so concurrent
+// clones of one tree are safe.
+func (t *Tree) Clone() *Tree {
+	dst := &Tree{}
+	t.CloneInto(dst)
+	return dst
+}
+
+// CloneInto copies t into dst, reusing dst's existing storage where capacity
+// allows — the flat node array is one slice copy, and the retained sample
+// matrix and leaf membership land in per-tree arenas, so a clone of a typical
+// planner-sized tree allocates nothing after the first use of a dst. Cloned
+// columns reserve a few samples of slack, so the one-sample Inserts the
+// speculation path applies right after cloning append in place.
+func (t *Tree) CloneInto(dst *Tree) {
+	if dst == t {
+		return
+	}
+	dst.numFeatures = t.numFeatures
+	dst.leaves = t.leaves
+	dst.depth = t.depth
+	dst.nodes = append(dst.nodes[:0], t.nodes...)
+	if t.inc == nil {
+		dst.inc = nil
+		return
+	}
+	src := t.inc
+	di := dst.inc
+	if di == nil {
+		di = &incState{}
+		dst.inc = di
+	}
+	di.params = src.params
+	n := len(src.targets)
+
+	stride := n + cloneColSlack
+	if cap(di.colArena) < t.numFeatures*stride {
+		di.colArena = make([]float64, t.numFeatures*stride)
+	}
+	arena := di.colArena[:t.numFeatures*stride]
+	if cap(di.cols) < t.numFeatures {
+		di.cols = make([][]float64, t.numFeatures)
+	}
+	di.cols = di.cols[:t.numFeatures]
+	for f := 0; f < t.numFeatures; f++ {
+		col := arena[f*stride : f*stride+n : (f+1)*stride]
+		copy(col, src.cols[f])
+		di.cols[f] = col
+	}
+	di.targets = append(di.targets[:0], src.targets...)
+
+	if cap(di.sampleArena) < n {
+		di.sampleArena = make([]int32, n)
+	}
+	sa := di.sampleArena[:0]
+	if cap(di.leafSamples) < len(t.nodes) {
+		di.leafSamples = make([][]int32, len(t.nodes))
+	}
+	di.leafSamples = di.leafSamples[:len(t.nodes)]
+	for ni := range di.leafSamples {
+		s := src.leafSamples[ni]
+		if s == nil {
+			di.leafSamples[ni] = nil
+			continue
+		}
+		start := len(sa)
+		sa = append(sa, s...)
+		di.leafSamples[ni] = sa[start:len(sa):len(sa)]
+	}
+	di.sampleArena = sa[:cap(sa)]
+}

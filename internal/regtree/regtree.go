@@ -67,6 +67,10 @@ type Tree struct {
 	numFeatures int
 	leaves      int
 	depth       int
+
+	// inc holds the retained training state of incrementally updatable trees
+	// (see TrainIncremental); nil for trees fitted with Train.
+	inc *incState
 }
 
 // flatNode is one node of the flattened tree; left < 0 marks a leaf carrying

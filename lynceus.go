@@ -142,6 +142,21 @@ type TunerConfig struct {
 	// Search selects the candidate search strategy; the zero value picks
 	// automatically based on the space size.
 	Search SearchConfig
+	// SpeculativeRefit selects how the planner retrains its models along
+	// speculative lookahead paths:
+	//
+	//   - "" or "auto": "full" for paper-scale searches, "incremental" once
+	//     lookahead × per-decision candidates make full refits dominant
+	//     (lookahead ≥ 3, or the product reaching 2048);
+	//   - "full": every speculated outcome refits the whole model ensemble
+	//     from the extended training set — the paper's exact behavior,
+	//     bitwise-pinned by the golden campaign tests;
+	//   - "incremental": every speculated outcome clones the parent models
+	//     and folds the one speculated sample in (online leaf updates on the
+	//     regression trees), an order of magnitude cheaper per speculation.
+	//     Recommendation quality matches "full" statistically (enforced by
+	//     parity tests), not bitwise. Requires the bagging cost model.
+	SpeculativeRefit string
 }
 
 // SearchConfig selects which untested configurations the planner considers at
@@ -199,6 +214,18 @@ func NewTuner(cfg TunerConfig) (Optimizer, error) {
 	if err != nil {
 		return nil, err
 	}
+	var refit core.SpeculativeRefit
+	switch cfg.SpeculativeRefit {
+	case "", "auto":
+		refit = core.SpecRefitAuto
+	case "full":
+		refit = core.SpecRefitFull
+	case "incremental":
+		refit = core.SpecRefitIncremental
+	default:
+		return nil, fmt.Errorf("lynceus: unknown speculative-refit mode %q (want \"\", %q, %q or %q)",
+			cfg.SpeculativeRefit, "auto", "full", "incremental")
+	}
 	params := core.Params{
 		Lookahead:           lookahead,
 		Discount:            cfg.Discount,
@@ -208,6 +235,7 @@ func NewTuner(cfg TunerConfig) (Optimizer, error) {
 		DisablePruning:      cfg.DisablePruning,
 		DisableBatchPredict: cfg.DisableBatchPredict,
 		Search:              search,
+		SpeculativeRefit:    refit,
 	}
 	switch cfg.CostModel {
 	case "", string(model.KindBagging):

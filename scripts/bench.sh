@@ -3,29 +3,34 @@
 #
 # Usage:
 #   scripts/bench.sh                 # writes BENCH.json in the repo root
-#   BENCH_PATTERN=. BENCH_TIME=1x \
-#   scripts/bench.sh out.json        # CI smoke: every benchmark, one iteration
+#   BENCH_PATTERN=. BENCH_TIME=1x BENCH_COUNT=3 \
+#   scripts/bench.sh out.json        # CI smoke: every benchmark, 3 repetitions
 #
 # The default set is the perf-tracked benchmarks reported in README
-# "Performance": the LA=2 planner on the 384-point Tensorflow space, the
-# ensemble fit+full-space-sweep microbenchmark, and the large-space planner
-# (sampled strategy over 15k-246k-point streaming spaces). BENCH.json is
-# committed as the perf baseline; regenerate it on comparable idle hardware
-# before updating it.
+# "Performance": the LA=2 planner (full vs incremental speculative refits)
+# and the LA=3 planner on the 384-point Tensorflow space, the ensemble
+# fit+full-space-sweep microbenchmark, and the large-space planner (sampled
+# strategy over 15k-246k-point streaming spaces). Every benchmark runs
+# BENCH_COUNT times (default 3) and benchjson records the per-metric MEDIAN —
+# a single planner iteration is too noisy to detect real regressions, and the
+# medians are what the CI bench-regression gate compares against the
+# committed baseline. BENCH.json is that baseline; regenerate it on
+# comparable idle hardware before updating it.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH.json}"
-PATTERN="${BENCH_PATTERN:-BenchmarkPlannerLA2Tensorflow|BenchmarkEnsembleFitPredict|BenchmarkFullSpaceSweep|BenchmarkLargeSpaceDecision}"
+PATTERN="${BENCH_PATTERN:-BenchmarkPlannerLA2Tensorflow|BenchmarkPlannerLA3Tensorflow|BenchmarkEnsembleFitPredict|BenchmarkFullSpaceSweep|BenchmarkLargeSpaceDecision}"
 BENCHTIME="${BENCH_TIME:-1s}"
+COUNT="${BENCH_COUNT:-3}"
 
 # Capture the bench output before converting it: piping go test straight into
 # benchjson would swallow its exit status under POSIX sh (no pipefail), and a
 # broken benchmark must fail this script (CI relies on that).
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
-if ! go test -run 'XXX' -bench "$PATTERN" -benchtime "$BENCHTIME" . > "$RAW"; then
+if ! go test -run 'XXX' -bench "$PATTERN" -benchtime "$BENCHTIME" -count "$COUNT" . > "$RAW"; then
 	cat "$RAW" >&2
 	echo "bench.sh: go test -bench failed" >&2
 	exit 1
