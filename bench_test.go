@@ -134,48 +134,13 @@ func benchmarkTensorflowRun(b *testing.B, opt Optimizer, budgetMultiplier float6
 	}
 }
 
-// BenchmarkPlannerLA2Tensorflow measures the long-sighted (LA=2) planner on
-// the 384-point Tensorflow space per speculative-refit mode and worker
-// count. The 1.5x budget leaves ~20 post-bootstrap decisions, so ns/decision
-// tracks the per-decision planning cost — the hot path optimized by the
-// parallel fan-out, the per-generation prediction memo, the optimistic-bound
-// candidate pruning, and (in refit=incremental) the clone-and-update
-// speculation that replaces the per-outcome ensemble refits.
-//
-// Reference ns/decision on one 2.70GHz Xeon core: the seed's serial planner
-// needed 520ms; refit=full (the exact paper path) needs ~225ms; the
-// incremental path needs ~49ms — ≥3x over full is the acceptance bar tracked
-// by the CI bench-regression gate (see README.md, "Performance").
-func BenchmarkPlannerLA2Tensorflow(b *testing.B) {
-	for _, refit := range []string{"full", "incremental"} {
-		for _, workers := range []int{1, 8} {
-			b.Run(fmt.Sprintf("refit=%s/workers=%d", refit, workers), func(b *testing.B) {
-				lyn, err := NewTuner(TunerConfig{Lookahead: 2, SpeculativeRefit: refit, Workers: workers})
-				if err != nil {
-					b.Fatalf("NewTuner: %v", err)
-				}
-				benchmarkTensorflowRun(b, lyn, 1.5)
-			})
-		}
-	}
-}
-
-// BenchmarkPlannerLA3Tensorflow measures the lookahead-3 planner on the same
-// campaign. LA=3 multiplies the speculation tree by another candidates ×
-// quadrature factor, which priced it out entirely under full refits
-// (minutes per decision); SpecRefitAuto resolves LA≥3 to the incremental
-// path, which plans at roughly the cost of the old full-refit LA=2.
-func BenchmarkPlannerLA3Tensorflow(b *testing.B) {
-	for _, workers := range []int{1, 8} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			lyn, err := NewTuner(TunerConfig{Lookahead: 3, Workers: workers})
-			if err != nil {
-				b.Fatalf("NewTuner: %v", err)
-			}
-			benchmarkTensorflowRun(b, lyn, 1.5)
-		})
-	}
-}
+// The per-decision planner benchmarks (BenchmarkPlannerLA2Tensorflow,
+// BenchmarkPlannerLA3Tensorflow) live in internal/core/planner_bench_test.go:
+// timing whole campaigns here gave each variant b.N = 1 at default benchtime
+// — a single noisy sample that made the CI bench-regression gate flaky. One
+// op there is exactly one planning decision from a fixed bootstrap history,
+// so b.N >= 3 and the scheduler's worker sweep (1, 2, 4, 8) is comparable
+// across runs. scripts/bench.sh benches both packages.
 
 // BenchmarkLargeSpaceDecision measures the per-decision planning time of the
 // sampled search strategy as the configuration space grows: 15k, 61k and

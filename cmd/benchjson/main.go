@@ -17,9 +17,12 @@
 //
 // With -compare, benchjson instead reads two reports and exits non-zero when
 // a tracked metric regressed by more than -threshold percent: "ns/decision"
-// on any benchmark, and "ns/op" on the BenchmarkEnsembleFitPredict cost-model
-// microbenchmarks. Benchmarks present in only one report are skipped, so
-// adding or retiring benchmarks never trips the gate.
+// and "allocs/op" on every planner benchmark (any benchmark reporting
+// ns/decision), and "ns/op" on the BenchmarkEnsembleFitPredict cost-model
+// microbenchmarks. Each comparison line records the iteration counts (b.N)
+// the two sides were averaged over, so a gate verdict based on too few
+// iterations is visible at a glance. Benchmarks present in only one report
+// are skipped, so adding or retiring benchmarks never trips the gate.
 package main
 
 import (
@@ -161,12 +164,17 @@ func median(values []float64) float64 {
 }
 
 // trackedMetrics returns the regression-gated metric units of a benchmark:
-// per-decision planning time everywhere it is reported, and raw ns/op for
-// the cost-model fit+sweep microbenchmarks.
+// per-decision planning time and allocations per op on every planner
+// benchmark (identified by reporting ns/decision — the planner hot path is
+// where allocation creep turns into GC pauses mid-decision), and raw ns/op
+// for the cost-model fit+sweep microbenchmarks.
 func trackedMetrics(b Benchmark) []string {
-	units := make([]string, 0, 2)
+	units := make([]string, 0, 3)
 	if _, ok := b.Metrics["ns/decision"]; ok {
 		units = append(units, "ns/decision")
+		if _, ok := b.Metrics["allocs/op"]; ok {
+			units = append(units, "allocs/op")
+		}
 	}
 	if strings.HasPrefix(b.Name, "BenchmarkEnsembleFitPredict") {
 		if _, ok := b.Metrics["ns/op"]; ok {
@@ -216,8 +224,12 @@ func compareReports(basePath, freshPath string, threshold float64) error {
 				status = "REGRESSION"
 				regressions++
 			}
-			fmt.Printf("%-60s %-12s %14.0f -> %14.0f  %+6.1f%%  %s\n",
-				b.Name, unit, refValue, b.Metrics[unit], slowdown, status)
+			// The iteration counts record how many b.N iterations each side's
+			// metric was averaged over — a verdict derived from N=1 runs
+			// deserves less trust than one from N=30 runs, and restructuring
+			// a benchmark to raise b.N shows up here.
+			fmt.Printf("%-60s %-12s %14.0f -> %14.0f  %+6.1f%%  %s  (iters %d -> %d)\n",
+				b.Name, unit, refValue, b.Metrics[unit], slowdown, status, ref.Iterations, b.Iterations)
 		}
 	}
 	if regressions > 0 {

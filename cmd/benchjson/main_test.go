@@ -118,6 +118,44 @@ func TestCompareReportsFlagsTrackedRegressions(t *testing.T) {
 	}
 }
 
+// TestCompareReportsGatesPlannerAllocations pins the allocation gate: on
+// planner benchmarks (those reporting ns/decision), allocs/op is a tracked
+// metric and a >threshold growth fails the comparison even when the timing
+// stayed flat. Non-planner benchmarks remain exempt — their allocation
+// counts are not gated.
+func TestCompareReportsGatesPlannerAllocations(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := dir + "/" + name
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatalf("writing %s: %v", name, err)
+		}
+		return path
+	}
+	base := write("base.json", `{"benchmarks": [
+		{"name": "BenchmarkPlannerLA3Tensorflow/workers=8", "iterations": 6, "metrics": {"ns/decision": 100, "allocs/op": 1000, "B/op": 50000}},
+		{"name": "BenchmarkFullSpaceSweep/batch", "iterations": 100, "metrics": {"ns/op": 100, "allocs/op": 10}}
+	]}`)
+
+	// Flat timing, allocation growth within threshold, non-planner
+	// allocation blowup ignored: must pass.
+	pass := write("pass.json", `{"benchmarks": [
+		{"name": "BenchmarkPlannerLA3Tensorflow/workers=8", "iterations": 6, "metrics": {"ns/decision": 101, "allocs/op": 1100, "B/op": 90000}},
+		{"name": "BenchmarkFullSpaceSweep/batch", "iterations": 100, "metrics": {"ns/op": 100, "allocs/op": 500}}
+	]}`)
+	if err := compareReports(base, pass, 20); err != nil {
+		t.Fatalf("compareReports flagged a passing run: %v", err)
+	}
+
+	// Flat timing but >20% allocation growth on a planner benchmark: fail.
+	leaky := write("leaky.json", `{"benchmarks": [
+		{"name": "BenchmarkPlannerLA3Tensorflow/workers=8", "iterations": 6, "metrics": {"ns/decision": 100, "allocs/op": 1300}}
+	]}`)
+	if err := compareReports(base, leaky, 20); err == nil {
+		t.Fatal("compareReports passed a >20%% allocs/op regression on a planner benchmark")
+	}
+}
+
 func TestParseIgnoresMalformedLines(t *testing.T) {
 	input := `Benchmark       notanumber	12 ns/op
 BenchmarkOdd	3	12

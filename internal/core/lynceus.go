@@ -86,10 +86,16 @@ type Params struct {
 	// above it. Strategies must be deterministic and worker-count
 	// independent; see SearchStrategy.
 	Search SearchStrategy
-	// Workers bounds the number of exploration paths evaluated concurrently;
-	// 0 uses GOMAXPROCS. The recommendation is independent of the worker
-	// count: every path evaluation owns a scratch model whose random stream
-	// is derived from the candidate ID, not from scheduling order.
+	// Workers sizes the planner's speculation scheduler: the number of
+	// worker goroutines that concurrently evaluate exploration paths and —
+	// at Lookahead >= 2 with incremental speculative refits — the speculated
+	// outcome subtrees forked off each path's shallow layers; 0 uses
+	// GOMAXPROCS. The recommendation is independent of the worker count:
+	// every path evaluation owns scratch models whose random streams derive
+	// from the candidate ID, forked subtree results are reduced in canonical
+	// outcome order regardless of completion order, and the pruning
+	// threshold is fixed from the unconditionally evaluated seed candidates,
+	// so the pruned set never depends on scheduling.
 	Workers int
 	// DisablePruning turns off the optimistic-bound candidate pruning that
 	// cuts the branching factor of the lookahead >= 2 path search. Pruning is
@@ -239,23 +245,6 @@ type pathScore struct {
 	candidateID int
 	reward      float64
 	cost        float64
-}
-
-// evaluateCandidatesParallel fans the per-candidate path simulations out to a
-// bounded pool of workers and returns the scores ordered by candidate index.
-// Every worker uses its own model instances (derived deterministically from
-// the candidate ID), so the result does not depend on scheduling.
-func evaluateCandidatesParallel(workers int, n int, eval func(i int) (pathScore, error)) ([]pathScore, error) {
-	scores := make([]pathScore, n)
-	err := optimizer.ParallelFor(workers, n, func(i int) error {
-		var evalErr error
-		scores[i], evalErr = eval(i)
-		return evalErr
-	})
-	if err != nil {
-		return nil, err
-	}
-	return scores, nil
 }
 
 // selectBestRatio returns the candidate with the highest reward-to-cost

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sync/atomic"
 	"testing"
@@ -372,17 +373,13 @@ func TestSelectBestRatio(t *testing.T) {
 	}
 }
 
-func TestEvaluateCandidatesParallel(t *testing.T) {
+func TestSchedulerRunIndexesResults(t *testing.T) {
 	n := 20
-	scores, err := evaluateCandidatesParallel(4, n, func(i int) (pathScore, error) {
-		return pathScore{candidateID: i, reward: float64(i), cost: 1}, nil
+	sched := newSpecScheduler(4)
+	scores := make([]pathScore, n)
+	sched.run(n, func(w *specWorker, i int) {
+		scores[i] = pathScore{candidateID: i, reward: float64(i), cost: 1}
 	})
-	if err != nil {
-		t.Fatalf("evaluateCandidatesParallel error: %v", err)
-	}
-	if len(scores) != n {
-		t.Fatalf("scores = %d, want %d", len(scores), n)
-	}
 	for i, s := range scores {
 		if s.candidateID != i {
 			t.Errorf("score %d has candidate %d; results must be indexed by input order", i, s.candidateID)
@@ -390,13 +387,16 @@ func TestEvaluateCandidatesParallel(t *testing.T) {
 	}
 
 	wantErr := errors.New("boom")
-	if _, err := evaluateCandidatesParallel(3, 10, func(i int) (pathScore, error) {
-		if i == 7 {
-			return pathScore{}, wantErr
+	errs := make([]error, 10)
+	sched.run(10, func(w *specWorker, i int) {
+		if i >= 7 {
+			errs[i] = fmt.Errorf("wrapped %d: %w", i, wantErr)
 		}
-		return pathScore{candidateID: i}, nil
-	}); !errors.Is(err, wantErr) {
+	})
+	if err := firstError(errs); !errors.Is(err, wantErr) {
 		t.Errorf("error not propagated: %v", err)
+	} else if err.Error() != "wrapped 7: boom" {
+		t.Errorf("firstError must return the lowest-indexed error, got %v", err)
 	}
 }
 

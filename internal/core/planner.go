@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/acquisition"
 	"repro/internal/configspace"
@@ -44,11 +44,22 @@ type planner struct {
 	eligZ    float64
 	eligUseZ bool
 
-	// wsPool recycles the incremental-mode path workspaces (clone slots plus
-	// their arenas) across candidates and decisions. Pooled state is fully
-	// overwritten by cloneFrom before every use, so reuse never leaks model
-	// state between paths and the recommendation stays scheduling-free.
-	wsPool sync.Pool
+	// sched is the persistent speculation scheduler (Params.Workers wide).
+	// Its per-worker arenas recycle the incremental-mode path workspaces
+	// (clone slots plus their arenas, eligibility buffers) across candidates,
+	// subtrees and decisions without a shared pool: each worker owns its
+	// freelist outright. Recycled state is fully overwritten by cloneFrom
+	// before every use, so reuse never leaks model state between paths and
+	// the recommendation stays scheduling-free.
+	sched *specScheduler
+
+	// forkDepth is the number of leading speculation layers whose outcome
+	// subtrees are forked into scheduler tasks (0 disables forking). Only the
+	// incremental refit mode forks — the Full mode's scratch refits consume a
+	// per-candidate random stream sequentially, which the golden campaign
+	// tests pin bitwise — and only the shallow layers are worth the task
+	// overhead: deeper subtrees shrink geometrically.
+	forkDepth int
 
 	// Per-decision scratch rebuilt by nextConfig; read-only during the
 	// parallel path-evaluation fan-out.
@@ -98,11 +109,25 @@ func newPlanner(params Params, env optimizer.Environment, opts optimizer.Options
 		factory:   factory,
 		refitMode: mode,
 		prices:    optimizer.NewPriceCache(env),
+		sched:     newSpecScheduler(params.Workers),
 	}
 	if mode == SpecRefitIncremental {
 		if z, err := numeric.NormalQuantile(params.EligibilityProb); err == nil {
 			p.eligZ, p.eligUseZ = z, true
 		}
+		// Fork the outcome subtrees of the first LA-1 speculation layers; the
+		// deepest layer's subtrees are leaves (one clone plus one sweep) and
+		// would only pay task overhead. Two layers already yield
+		// combos²-per-candidate tasks, so the cap keeps the task count
+		// bounded on very deep lookaheads.
+		p.forkDepth = params.Lookahead - 1
+		if p.forkDepth > 2 {
+			p.forkDepth = 2
+		}
+		// With forking possible, spawn every worker even for runs with
+		// fewer root candidates than workers: the spare workers steal the
+		// forked subtrees of the few expensive paths.
+		p.sched.wide = p.forkDepth > 0
 	}
 	return p, nil
 }
@@ -476,26 +501,26 @@ func (ws *pathWorkspace) cloneSlot(p *planner, depth int) *modelSet {
 	return ws.clones[depth]
 }
 
-// newWorkspace builds the workspace of one path evaluation. Full mode keeps
-// the historical per-candidate scratch model set with its random stream
-// derived from (iteration, candidate ID) — the derivation the golden
-// campaign tests pin. Incremental mode recycles pooled clone slots.
-func (p *planner) newWorkspace(iteration int, candID, activeSize int) *pathWorkspace {
-	if p.refitMode != SpecRefitIncremental {
-		return &pathWorkspace{scratch: p.newModelSet(int64(iteration)*4_000_000_007+int64(candID), activeSize)}
-	}
-	if ws, ok := p.wsPool.Get().(*pathWorkspace); ok {
-		return ws
-	}
-	return &pathWorkspace{}
-}
-
-// releaseWorkspace recycles an incremental-mode workspace; Full-mode scratch
-// sets are deliberately not reused, their rng streams are per-candidate.
-func (p *planner) releaseWorkspace(ws *pathWorkspace) {
+// evalPath scores the exploration paths rooted at one candidate on the given
+// scheduler worker. Full mode keeps the historical per-candidate scratch
+// model set with its random stream derived from (iteration, candidate ID) —
+// the derivation the golden campaign tests pin — and deliberately never
+// reuses it. Incremental mode draws a recycled workspace from the worker's
+// private arena and returns it there once the whole path (including every
+// forked subtree) has joined.
+func (p *planner) evalPath(w *specWorker, iteration, activeSize int, rootState *specState, rootModels *modelSet, rootInc float64, cand candidate, extraNames []string) (pathScore, error) {
+	var ws *pathWorkspace
 	if p.refitMode == SpecRefitIncremental {
-		p.wsPool.Put(ws)
+		ws = w.acquireWorkspace()
+		defer w.releaseWorkspace(ws)
+	} else {
+		ws = &pathWorkspace{scratch: p.newModelSet(int64(iteration)*4_000_000_007+int64(cand.id), activeSize)}
 	}
+	reward, cost, err := p.explorePaths(rootState, rootModels, rootInc, cand, p.params.Lookahead, ws, 0, extraNames, w)
+	if err != nil {
+		return pathScore{}, err
+	}
+	return pathScore{candidateID: cand.id, reward: reward, cost: cost}, nil
 }
 
 // specState is the state Σ of one node of an exploration path: the
@@ -680,12 +705,15 @@ func (p *planner) nextStep(state *specState, ms *modelSet, inc float64, extraNam
 // the given state, speculating on the remaining lookahead steps.
 //
 // models must be trained on state.train and inc must be the incumbent of
-// (state, models); ws is the per-candidate model workspace that keeps path
+// (state, models); ws is the per-task model workspace that keeps path
 // evaluations independent across goroutines — in Full mode a scratch set
 // explorePaths refits freely (random stream split deterministically from the
-// candidate ID), in Incremental mode a stack of clone slots indexed by the
-// speculation depth (0 at the root call).
-func (p *planner) explorePaths(state *specState, models *modelSet, inc float64, cand candidate, lookahead int, ws *pathWorkspace, depth int, extraNames []string) (reward, cost float64, err error) {
+// candidate ID), in Incremental mode a stack of clone slots indexed by slot
+// (0 at the task's root call). w is the scheduler worker executing this
+// evaluation; in Incremental mode the shallow speculation layers fork their
+// outcome subtrees onto it as stealable tasks (see explorePathsForked), so a
+// few expensive candidates can occupy the whole pool.
+func (p *planner) explorePaths(state *specState, models *modelSet, inc float64, cand candidate, lookahead int, ws *pathWorkspace, slot int, extraNames []string, w *specWorker) (reward, cost float64, err error) {
 	costPred, extraPreds, err := models.predictCand(cand)
 	if err != nil {
 		return 0, 0, err
@@ -734,12 +762,6 @@ func (p *planner) explorePaths(state *specState, models *modelSet, inc float64, 
 		}
 	}
 
-	// The speculated child states differ only in the outcome of the last
-	// (speculated) training entry, so one extended training set and one
-	// reduced untested slice are built per candidate and the entry is
-	// rewritten per combo. Deeper recursion copies the training set before
-	// extending it, so the mutation never escapes this loop.
-	childTrain := state.train.withEntry(cand.features, 0, make([]float64, len(extraPreds)), false)
 	childUntested := without(state.untested, cand.id)
 	if len(childUntested) == 0 {
 		return reward, cost, nil
@@ -749,6 +771,19 @@ func (p *planner) explorePaths(state *specState, models *modelSet, inc float64, 
 		cfg := p.candidateConfig(cand)
 		childDeployed = &cfg
 	}
+
+	if p.shouldFork(w, lookahead, len(combos)) {
+		return p.explorePathsForked(state, models, cand, lookahead, extraNames, w,
+			combos, childUntested, childDeployed, setup, reward, cost)
+	}
+
+	// Serial evaluation: the speculated child states differ only in the
+	// outcome of the last (speculated) training entry, so one extended
+	// training set and one reduced untested slice are built per candidate
+	// and the entry is rewritten per combo. Deeper recursion copies the
+	// training set before extending it, so the mutation never escapes this
+	// loop.
+	childTrain := state.train.withEntry(cand.features, 0, make([]float64, len(extraPreds)), false)
 	last := len(childTrain.costs) - 1
 	for _, combo := range combos {
 		specCost := combo.Values[0]
@@ -769,12 +804,12 @@ func (p *planner) explorePaths(state *specState, models *modelSet, inc float64, 
 		var childModels *modelSet
 		if p.refitMode == SpecRefitIncremental {
 			// Incremental fast path: snapshot the parent models into this
-			// depth's clone slot and fold the one speculated sample in. The
+			// slot's clone and fold the one speculated sample in. The
 			// clone inherits the parent's prediction memo, and the update
 			// only drops the entries its single touched tree region can
 			// move — the following incumbent/eligibility sweeps then cost
 			// O(changed) model evaluations instead of a full refit + sweep.
-			childModels = ws.cloneSlot(p, depth)
+			childModels = ws.cloneSlot(p, slot)
 			if err := childModels.cloneFrom(models); err != nil {
 				return 0, 0, err
 			}
@@ -800,7 +835,7 @@ func (p *planner) explorePaths(state *specState, models *modelSet, inc float64, 
 			// path terminates here (Algorithm 2, lines 15-16).
 			continue
 		}
-		subReward, subCost, err := p.explorePaths(childState, childModels, childInc, next, lookahead-1, ws, depth+1, extraNames)
+		subReward, subCost, err := p.explorePaths(childState, childModels, childInc, next, lookahead-1, ws, slot+1, extraNames, w)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -808,6 +843,117 @@ func (p *planner) explorePaths(state *specState, models *modelSet, inc float64, 
 		reward += p.params.Discount * combo.Weight * subReward
 	}
 	return reward, cost, nil
+}
+
+// shouldFork decides whether the outcome subtrees of the current speculation
+// layer become scheduler tasks. Only the incremental refit mode forks (Full
+// mode's scratch refits consume a per-candidate random stream sequentially,
+// pinned bitwise by the golden campaign tests), only with a parallel
+// scheduler, and only within the first forkDepth layers — the depth-aware
+// bound that keeps tasks coarse enough to amortize scheduling. The layer
+// index is derived from the remaining lookahead, so forked subtrees fork
+// their own children too while still within the bound.
+func (p *planner) shouldFork(w *specWorker, lookahead, combos int) bool {
+	if w == nil || combos < 2 || p.refitMode != SpecRefitIncremental || !p.sched.parallel() {
+		return false
+	}
+	if p.params.Lookahead-lookahead >= p.forkDepth {
+		return false
+	}
+	// Supply-aware: while the injector still queues more root candidates
+	// than there are workers, root-level parallelism alone saturates the
+	// pool and serial subtree evaluation is cheaper (one shared child
+	// training set instead of per-outcome copies). Forked and serial
+	// evaluation compute bitwise-identical results, so this heuristic is
+	// free to depend on scheduling state.
+	return p.sched.scarceRoots()
+}
+
+// comboOutcome is the result slot of one forked speculated-outcome task.
+// Slots are fixed at spawn time and reduced in combo order after the join,
+// which keeps the floating-point reduction identical to the serial loop
+// regardless of completion order.
+type comboOutcome struct {
+	reward, cost float64
+	ok           bool
+	err          error
+}
+
+// explorePathsForked is the parallel variant of explorePaths' combo loop:
+// every speculated outcome of the current layer is spawned as a task on the
+// executing worker's deque, idle workers steal them, and the parent helps
+// drain subtree tasks until its children joined. Each child task evaluates
+// exactly the operations of the serial loop body — clone parent models, fold
+// the speculated sample in, pick the next step, recurse — on its own
+// workspace, so forked and serial evaluations produce bitwise-identical
+// rewards and costs (the worker-count independence tests pin this).
+func (p *planner) explorePathsForked(state *specState, models *modelSet, cand candidate, lookahead int, extraNames []string, w *specWorker, combos []numeric.WeightedVector, childUntested []candidate, childDeployed *configspace.Config, setup, reward, cost float64) (float64, float64, error) {
+	outcomes := make([]comboOutcome, len(combos))
+	var pending atomic.Int64
+	pending.Store(int64(len(combos)))
+	for ci := range combos {
+		specCost := combos[ci].Values[0]
+		specExtras := combos[ci].Values[1:]
+		feasible := p.feasibleSpeculation(cand, specCost, specExtras, extraNames)
+		childState := &specState{
+			train:    state.train.withEntry(cand.features, specCost, specExtras, feasible),
+			untested: childUntested,
+			budget:   state.budget - specCost - setup,
+			deployed: childDeployed,
+		}
+		out := &outcomes[ci]
+		w.spawn(func(cw *specWorker) {
+			out.reward, out.cost, out.ok, out.err = p.evalSpeculated(cw, childState, models, cand, specCost, specExtras, lookahead, extraNames)
+			pending.Add(-1)
+		})
+	}
+	w.help(&pending)
+	for ci := range outcomes {
+		o := &outcomes[ci]
+		if o.err != nil {
+			return 0, 0, o.err
+		}
+		if !o.ok {
+			// The speculated budget cannot accommodate any further step: the
+			// path terminates here (Algorithm 2, lines 15-16).
+			continue
+		}
+		cost += combos[ci].Weight * o.cost
+		reward += p.params.Discount * combos[ci].Weight * o.reward
+	}
+	return reward, cost, nil
+}
+
+// evalSpeculated evaluates one speculated-outcome subtree on the worker that
+// picked the task up: clone the parent models, fold the speculated sample
+// in, select the next step under the speculated state, and recurse with the
+// remaining lookahead. The workspace comes from the executing worker's arena
+// and is released only after the recursion — including any further forked
+// layer — has fully joined, so clone slots referenced by grandchild tasks
+// stay untouched until they finished.
+func (p *planner) evalSpeculated(cw *specWorker, childState *specState, parent *modelSet, cand candidate, specCost float64, specExtras []float64, lookahead int, extraNames []string) (reward, cost float64, ok bool, err error) {
+	ws := cw.acquireWorkspace()
+	defer cw.releaseWorkspace(ws)
+	childModels := ws.cloneSlot(p, 0)
+	if err := childModels.cloneFrom(parent); err != nil {
+		return 0, 0, false, err
+	}
+	if err := childModels.update(cand.features, specCost, specExtras); err != nil {
+		return 0, 0, false, err
+	}
+	childInc, err := p.incumbent(childState, childModels)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	next, found, err := p.nextStep(childState, childModels, childInc, extraNames, &ws.elig)
+	if err != nil || !found {
+		return 0, 0, false, err
+	}
+	subReward, subCost, err := p.explorePaths(childState, childModels, childInc, next, lookahead-1, ws, 1, extraNames, cw)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	return subReward, subCost, true, nil
 }
 
 // Pruning constants (see prunedScores).
@@ -824,10 +970,6 @@ const (
 	// pruneSeedDivisor sizes the exactly-evaluated seed set relative to the
 	// eligible-candidate count.
 	pruneSeedDivisor = 8
-	// pruneChunkSize is the number of ranked candidates evaluated between
-	// threshold updates; fixed chunk boundaries keep the pruning decision
-	// independent of the worker count.
-	pruneChunkSize = 16
 )
 
 // nextConfig implements Algorithm 1's NextConfig: it asks the search strategy
@@ -927,23 +1069,17 @@ func (p *planner) nextConfig(h *optimizer.History, remainingBudget float64) (con
 	deepSearch := p.params.Lookahead >= 2 && !p.params.DisablePruning
 	iteration := p.iteration
 	active := len(untested)
-	evalPath := func(cand candidate) (pathScore, error) {
-		ws := p.newWorkspace(iteration, cand.id, active)
-		reward, cost, err := p.explorePaths(rootState, rootModels, rootInc, cand, p.params.Lookahead, ws, 0, extraNames)
-		if err != nil {
-			return pathScore{}, err
-		}
-		p.releaseWorkspace(ws)
-		return pathScore{candidateID: cand.id, reward: reward, cost: cost}, nil
-	}
 
 	var scores []pathScore
 	if deepSearch && len(eligible) > 2*pruneMinSeeds {
-		scores, err = p.prunedScores(eligible, costPreds, rootEIc, rootState, evalPath)
+		scores, err = p.prunedScores(eligible, costPreds, rootEIc, rootState, rootModels, rootInc, iteration, active, extraNames)
 	} else {
-		scores, err = evaluateCandidatesParallel(p.params.Workers, len(eligible), func(i int) (pathScore, error) {
-			return evalPath(eligible[i])
+		results := make([]pathScore, len(eligible))
+		errs := make([]error, len(eligible))
+		p.sched.run(len(eligible), func(w *specWorker, i int) {
+			results[i], errs[i] = p.evalPath(w, iteration, active, rootState, rootModels, rootInc, eligible[i], extraNames)
 		})
+		scores, err = results, firstError(errs)
 	}
 	if err != nil {
 		return configspace.Config{}, false, err
@@ -960,6 +1096,17 @@ func (p *planner) nextConfig(h *optimizer.History, remainingBudget float64) (con
 	return best, true, nil
 }
 
+// firstError returns the lowest-indexed non-nil error of a result slice, so
+// error reporting is deterministic regardless of scheduling.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // prunedScores evaluates the exploration paths of the eligible candidates
 // with optimistic-bound pruning, cutting the branching factor of the
 // lookahead ≥ 2 search:
@@ -970,15 +1117,25 @@ func (p *planner) nextConfig(h *optimizer.History, remainingBudget float64) (con
 //     best currently known reward by more), divided by its root expected cost
 //     (a lower bound on the true path cost, since speculated future costs are
 //     non-negative).
-//  2. The top seeds by that bound are evaluated exactly on the worker pool.
-//  3. Remaining candidates whose bound cannot beat the best exact seed ratio
-//     are dropped without simulating their paths; the survivors are evaluated
+//  2. The top seeds by that bound are evaluated exactly, with no
+//     synchronization between them: each seed task publishes its ratio and
+//     observed future reward through lock-free monotone atomics as it
+//     completes (forked subtrees steal freely throughout).
+//  3. At the seed join the pruning threshold is fixed from the seed
+//     results; remaining candidates whose bound cannot beat it are dropped
+//     without simulating their paths, and the survivors are evaluated
 //     exactly.
 //
-// The seed set and the pruning threshold depend only on deterministic
-// root-model quantities, never on worker scheduling, so the decision is
-// identical for every Params.Workers value.
-func (p *planner) prunedScores(eligible []candidate, costPreds []numeric.Gaussian, rootEIc []float64, rootState *specState, evalPath func(candidate) (pathScore, error)) ([]pathScore, error) {
+// This replaces the former fixed-size chunk barriers (one pool-wide
+// synchronization per 16 candidates) with a single join per decision, and
+// keeps the pruned set deterministic BY CONSTRUCTION: the threshold depends
+// only on the seed results, which are evaluated unconditionally, never on
+// which worker read the threshold when. Scores land in slots fixed by
+// candidate rank and are collected in canonical order, so the
+// recommendation is bitwise identical for every Params.Workers value
+// (pinned by the worker-count determinism tests and the golden campaign
+// tests).
+func (p *planner) prunedScores(eligible []candidate, costPreds []numeric.Gaussian, rootEIc []float64, rootState *specState, rootModels *modelSet, rootInc float64, iteration, active int, extraNames []string) ([]pathScore, error) {
 	const eps = 1e-12
 
 	maxEIc := 0.0
@@ -1023,69 +1180,76 @@ func (p *planner) prunedScores(eligible []candidate, costPreds []numeric.Gaussia
 		seedCount = pruneMinSeeds
 	}
 
-	seeds := order[:seedCount]
-	scores, err := evaluateCandidatesParallel(p.params.Workers, len(seeds), func(i int) (pathScore, error) {
-		return evalPath(eligible[seeds[i]])
-	})
-	if err != nil {
+	// Phase 1: evaluate every seed exactly. Seed tasks publish the pruning
+	// calibration through the lock-free monotone atomics as they complete
+	// (no synchronization between seeds, forked subtrees steal freely); the
+	// single join at the end of the run is the only synchronization point of
+	// the whole decision — versus one barrier per 16-candidate chunk before.
+	var bestRatio, maxFuture atomicMaxFloat
+	results := make([]pathScore, len(order))
+	errs := make([]error, len(order))
+	evalRank := func(w *specWorker, rank int) {
+		i := order[rank]
+		s, err := p.evalPath(w, iteration, active, rootState, rootModels, rootInc, eligible[i], extraNames)
+		if err != nil {
+			errs[rank] = err
+			return
+		}
+		results[rank] = s
+		den := s.cost
+		if den < eps {
+			den = eps
+		}
+		bestRatio.Max(s.reward / den)
+		maxFuture.Max(s.reward - rootEIc[i])
+	}
+	p.sched.run(seedCount, evalRank)
+	if err := firstError(errs[:seedCount]); err != nil {
 		return nil, err
 	}
-	// Calibrate the pruning threshold from the exactly evaluated paths: the
-	// discounted future reward of a path varies far less across root
-	// candidates than the root EIc does, so the largest future reward
-	// observed so far, inflated by the safety factor, bounds the rest. The
+
+	// Phase 2: fix the threshold from the (deterministic) seed results and
+	// prune the remaining candidates against it up front. The discounted
+	// future reward of a path varies far less across root candidates than
+	// the root EIc does, so the largest future reward observed across the
+	// seeds, inflated by the safety factor, bounds the rest; the
 	// discounted-horizon multiple of the best root EIc floors the term, so a
 	// degenerate seed sample (every seed's speculation adding nothing) can
 	// never tighten the bound below the static ranking optimism.
-	bestRatio := 0.0
-	maxFuture := 0.0
-	absorb := func(batch []pathScore, origin []int) {
-		for si, s := range batch {
-			den := s.cost
-			if den < eps {
-				den = eps
-			}
-			if r := s.reward / den; r > bestRatio {
-				bestRatio = r
-			}
-			if future := s.reward - rootEIc[origin[si]]; future > maxFuture {
-				maxFuture = future
-			}
+	//
+	// Fixing the threshold at the seed join — rather than letting survivor
+	// evaluations keep tightening it — is what makes the pruned set
+	// deterministic BY CONSTRUCTION: it depends only on seed results, which
+	// are evaluated unconditionally. A threshold that kept moving while
+	// survivors completed in scheduling order would still pick the same
+	// winner whenever the optimistic bound truly bounds (a skipped
+	// candidate's ratio would sit strictly below an exactly-computed one),
+	// but the bound is a calibrated heuristic, and the repository's
+	// reproducibility contract must not be conditional on it.
+	future := pruneOptimism * maxFuture.Load()
+	if floor := horizon * maxEIc; future < floor {
+		future = floor
+	}
+	threshold := bestRatio.Load()
+	survivors := make([]int, 0, len(order)-seedCount)
+	for rank := seedCount; rank < len(order); rank++ {
+		if i := order[rank]; (rootEIc[i]+future)/costLBs[i] >= threshold {
+			survivors = append(survivors, rank)
 		}
 	}
-	absorb(scores, seeds)
+	p.sched.run(len(survivors), func(w *specWorker, k int) {
+		evalRank(w, survivors[k])
+	})
+	if err := firstError(errs[seedCount:]); err != nil {
+		return nil, err
+	}
 
-	// Process the remaining candidates in fixed-size chunks, re-pruning
-	// before each chunk with the threshold tightened by everything evaluated
-	// so far. Chunk boundaries depend only on candidate order, never on
-	// worker scheduling.
-	rest := order[seedCount:]
-	for start := 0; start < len(rest); start += pruneChunkSize {
-		end := start + pruneChunkSize
-		if end > len(rest) {
-			end = len(rest)
-		}
-		future := pruneOptimism * maxFuture
-		if floor := horizon * maxEIc; future < floor {
-			future = floor
-		}
-		chunk := make([]int, 0, end-start)
-		for _, i := range rest[start:end] {
-			if (rootEIc[i]+future)/costLBs[i] >= bestRatio {
-				chunk = append(chunk, i)
-			}
-		}
-		if len(chunk) == 0 {
-			continue
-		}
-		batch, err := evaluateCandidatesParallel(p.params.Workers, len(chunk), func(i int) (pathScore, error) {
-			return evalPath(eligible[chunk[i]])
-		})
-		if err != nil {
-			return nil, err
-		}
-		absorb(batch, chunk)
-		scores = append(scores, batch...)
+	scores := make([]pathScore, 0, seedCount+len(survivors))
+	for rank := 0; rank < seedCount; rank++ {
+		scores = append(scores, results[rank])
+	}
+	for _, rank := range survivors {
+		scores = append(scores, results[rank])
 	}
 	return scores, nil
 }

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bagging"
+	"repro/internal/optimizer"
+	"repro/internal/synth"
+)
+
+// Per-decision planner benchmarks on the 384-point Tensorflow space.
+//
+// The previous planner benchmarks (in the repository root) timed whole
+// optimization campaigns, so at default benchtime each received b.N = 1 —
+// a single noisy sample that made the CI bench-regression gate flaky. Here
+// one benchmark op is exactly one planning decision (one nextConfig call)
+// from a fixed bootstrap history, which yields b.N >= 3 at the default 1s
+// benchtime for every variant and keeps per-op work constant: the history
+// never grows, only the planner's iteration counter advances (as it would
+// across decisions of a real campaign).
+//
+// ns/decision therefore equals ns/op; it is still reported explicitly
+// because the benchjson regression gate tracks that metric name across every
+// planner benchmark, wherever it lives. ReportAllocs feeds the allocation
+// gate (B/op, allocs/op) introduced alongside the parallel speculation
+// scheduler.
+
+// plannerBenchFixture is the shared per-decision benchmark state: a planner
+// over the Tensorflow-384 space plus the bootstrap history and remaining
+// budget of a paper-scale campaign.
+type plannerBenchFixture struct {
+	planner   *planner
+	history   *optimizer.History
+	remaining float64
+}
+
+func newPlannerBenchFixture(tb testing.TB, lookahead int, refit SpeculativeRefit, workers int) *plannerBenchFixture {
+	tb.Helper()
+	job, err := synth.TensorflowJob(synth.CNN, 42)
+	if err != nil {
+		tb.Fatalf("TensorflowJob: %v", err)
+	}
+	env, err := optimizer.NewJobEnvironment(job)
+	if err != nil {
+		tb.Fatalf("NewJobEnvironment: %v", err)
+	}
+	tmax, err := job.RuntimeForFeasibleFraction(0.5)
+	if err != nil {
+		tb.Fatalf("RuntimeForFeasibleFraction: %v", err)
+	}
+	opts := optimizer.Options{
+		Budget:            1, // unused: the benchmark drives nextConfig directly
+		MaxRuntimeSeconds: tmax,
+		Seed:              1,
+	}
+	bootstrap, err := optimizer.ResolveBootstrapSize(job.Space(), optimizer.Options{Budget: 1, MaxRuntimeSeconds: 1})
+	if err != nil {
+		tb.Fatalf("ResolveBootstrapSize: %v", err)
+	}
+	// A third of a bootstrap's worth of remaining budget: a mid-campaign
+	// decision of a 1.5x campaign. The budget-eligibility filter keeps the
+	// candidate set large enough to be representative while holding one
+	// decision under ~1/3 s for every variant, so b.N >= 3 at the default
+	// 1 s benchtime — a single-iteration planner benchmark is too noisy for
+	// the regression gate.
+	total := float64(bootstrap) * job.MeanCost() * 1.35
+	budget, err := optimizer.NewBudget(total)
+	if err != nil {
+		tb.Fatalf("NewBudget: %v", err)
+	}
+	history := optimizer.NewHistory()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	if err := optimizer.Bootstrap(env, bootstrap, rng, history, budget, nil); err != nil {
+		tb.Fatalf("Bootstrap: %v", err)
+	}
+	params, err := Params{
+		Lookahead:        lookahead,
+		Model:            bagging.Params{NumTrees: 10},
+		Workers:          workers,
+		SpeculativeRefit: refit,
+	}.withDefaults()
+	if err != nil {
+		tb.Fatalf("withDefaults: %v", err)
+	}
+	p, err := newPlanner(params, env, opts)
+	if err != nil {
+		tb.Fatalf("newPlanner: %v", err)
+	}
+	return &plannerBenchFixture{planner: p, history: history, remaining: budget.Remaining()}
+}
+
+// decide runs one planning decision and fails the benchmark if the planner
+// declines to recommend (which would mean the op did no work).
+func (f *plannerBenchFixture) decide(tb testing.TB) {
+	next, ok, err := f.planner.nextConfig(f.history, f.remaining)
+	if err != nil {
+		tb.Fatalf("nextConfig: %v", err)
+	}
+	if !ok {
+		tb.Fatal("nextConfig declined to recommend")
+	}
+	_ = next
+}
+
+func benchmarkPlannerDecision(b *testing.B, lookahead int, refit SpeculativeRefit, workers int) {
+	b.Helper()
+	fixture := newPlannerBenchFixture(b, lookahead, refit, workers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fixture.decide(b)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/decision")
+}
+
+// BenchmarkPlannerLA2Tensorflow measures one long-sighted (LA=2) planning
+// decision per op, per speculative-refit mode and worker count. The worker
+// sweep (1, 2, 4, 8) tracks the scaling of the parallel speculation
+// scheduler; the acceptance bars live in the scaling sanity test and the CI
+// bench-regression gate (see README "Performance").
+func BenchmarkPlannerLA2Tensorflow(b *testing.B) {
+	for _, refit := range []SpeculativeRefit{SpecRefitFull, SpecRefitIncremental} {
+		name := "full"
+		if refit == SpecRefitIncremental {
+			name = "incremental"
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("refit=%s/workers=%d", name, workers), func(b *testing.B) {
+				benchmarkPlannerDecision(b, 2, refit, workers)
+			})
+		}
+	}
+}
+
+// BenchmarkPlannerLA3Tensorflow measures one lookahead-3 decision per op.
+// LA=3 multiplies the speculation tree by another candidates × quadrature
+// factor; SpecRefitAuto resolves it to the incremental path, and the
+// scheduler forks the first two speculation layers so a few expensive
+// candidates can occupy the whole worker pool.
+func BenchmarkPlannerLA3Tensorflow(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchmarkPlannerDecision(b, 3, SpecRefitAuto, workers)
+		})
+	}
+}

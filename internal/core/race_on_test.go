@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build; the
+// timing-sensitive scaling test skips itself under it (every measured side
+// slows ~20x and CI pays the bill without learning anything new).
+const raceEnabled = true

@@ -10,6 +10,7 @@ package model
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/bagging"
 	"repro/internal/gp"
@@ -166,14 +167,6 @@ func NewFactory(kind Kind, baggingParams bagging.Params, gpParams gp.Params, see
 // ErrNilFactory is returned by helpers that require a factory.
 var ErrNilFactory = errors.New("model: nil factory")
 
-// cachedPred is one memoized predictive distribution. The generation tag
-// records which fit of the model produced it; entries from older generations
-// are treated as absent.
-type cachedPred struct {
-	gen  int
-	pred numeric.Gaussian
-}
-
 // Cached wraps a Regressor with a prediction memo keyed by (model
 // generation, configuration ID). Lynceus' path simulation predicts the same
 // finite set of configurations many times between refits — once per
@@ -181,14 +174,28 @@ type cachedPred struct {
 // lookup. Fitting bumps the generation, which invalidates the whole memo
 // without clearing it.
 //
-// Concurrency: Fit and cold PredictID calls mutate the memo and must not run
-// concurrently. Once an ID has been predicted for the current generation
-// (e.g. by a Prefill-style sweep), concurrent PredictID calls for it are
-// read-only and safe.
+// The memo's read path is lock-free: each slot carries an atomically
+// published generation tag, written only after the slot's prediction, so
+// concurrent PredictID calls — including concurrent cold misses on the same
+// slot — never lock, never block, and never observe a half-written entry.
+// Racing writers resolve by compare-and-swap claim: the loser simply returns
+// its own (identical, deterministic) prediction without publishing. This is
+// what lets the planner's speculation scheduler share one prefilled model
+// set across every concurrently scored subtree without serializing on memo
+// synchronization.
+//
+// Fit, Update, Prefill and CloneFrom still mutate the model itself and must
+// not run concurrently with anything else on the same Cached.
 type Cached struct {
 	inner Regressor
-	gen   int
-	memo  []cachedPred
+	gen   uint32
+
+	// slotGens[id] is the atomically published generation tag of memo slot
+	// id, memoWriting while a writer holds the slot's publish claim; preds
+	// holds the memoized distributions. A slot is valid iff its tag equals
+	// the current generation (plus memoGenOffset).
+	slotGens []atomic.Uint32
+	preds    []numeric.Gaussian
 
 	// lastCols remembers the column-major feature matrix of the last Prefill
 	// (cols[d][id] is feature d of the configuration in memo slot id). It is
@@ -196,10 +203,9 @@ type Cached struct {
 	// move instead of dropping the whole memo. Read-only; shared by clones.
 	lastCols [][]float64
 
-	// Scratch reused by Prefill and Update: the batch prediction and
-	// affected-flag buffers, a column-view header, and one gathered feature
-	// row for inner regressors without the batch extensions.
-	preds    []numeric.Gaussian
+	// Scratch reused by Prefill and Update: the affected-flag buffer, a
+	// column-view header, and one gathered feature row for inner regressors
+	// without the batch extensions.
 	affected []bool
 	colView  [][]float64
 	row      []float64
@@ -207,12 +213,16 @@ type Cached struct {
 
 // NewCached wraps inner with a memo for configuration IDs in [0, size).
 func NewCached(inner Regressor, size int) *Cached {
-	return &Cached{inner: inner, memo: make([]cachedPred, size)}
+	return &Cached{
+		inner:    inner,
+		slotGens: make([]atomic.Uint32, size),
+		preds:    make([]numeric.Gaussian, size),
+	}
 }
 
 // Generation returns the number of completed fits and updates; predictions
 // memoized under older generations are stale.
-func (c *Cached) Generation() int { return c.gen }
+func (c *Cached) Generation() int { return int(c.gen) }
 
 // Fit trains the wrapped model and invalidates the memo.
 func (c *Cached) Fit(features [][]float64, targets []float64) error {
@@ -230,19 +240,30 @@ func (c *Cached) Predict(x []float64) (numeric.Gaussian, error) {
 }
 
 // PredictID returns the predictive distribution of the configuration with the
-// given ID and feature vector, computing it at most once per generation.
+// given ID and feature vector, computing it at most once per generation per
+// racing writer. Safe for concurrent callers, including concurrent cold
+// misses on one slot: the prediction is written before the generation tag is
+// published, and the tag is claimed by compare-and-swap, so readers observe
+// either a complete entry or a miss — never torn data. The wrapped model's
+// predictions are deterministic, so racing writers compute identical values
+// and the losing writer just skips publication.
 func (c *Cached) PredictID(id int, x []float64) (numeric.Gaussian, error) {
-	if id >= 0 && id < len(c.memo) {
-		if e := c.memo[id]; e.gen == c.gen+memoGenOffset {
-			return e.pred, nil
+	cur := c.gen + memoGenOffset
+	inMemo := id >= 0 && id < len(c.slotGens)
+	var seen uint32
+	if inMemo {
+		seen = c.slotGens[id].Load()
+		if seen == cur {
+			return c.preds[id], nil
 		}
 	}
 	pred, err := c.inner.Predict(x)
 	if err != nil {
 		return numeric.Gaussian{}, err
 	}
-	if id >= 0 && id < len(c.memo) {
-		c.memo[id] = cachedPred{gen: c.gen + memoGenOffset, pred: pred}
+	if inMemo && seen != memoWriting && c.slotGens[id].CompareAndSwap(seen, memoWriting) {
+		c.preds[id] = pred
+		c.slotGens[id].Store(cur)
 	}
 	return pred, nil
 }
@@ -269,7 +290,7 @@ func (c *Cached) SupportsBatch() bool {
 // Prefill mutates the memo and must not run concurrently with Fit, PredictID
 // or another Prefill on the same Cached.
 func (c *Cached) Prefill(cols [][]float64) error {
-	n := len(c.memo)
+	n := len(c.slotGens)
 	if n == 0 {
 		return nil
 	}
@@ -281,17 +302,16 @@ func (c *Cached) Prefill(cols [][]float64) error {
 	gen := c.gen + memoGenOffset
 	c.lastCols = cols
 	if batch, ok := c.inner.(BatchRegressor); ok {
-		// PredictBatch requires len(col) == len(out) exactly.
+		// PredictBatch requires len(col) == len(out) exactly. It writes
+		// straight into the memo's prediction array: Prefill is exclusive
+		// by contract, and on error the slot tags are never published, so a
+		// partially overwritten array is indistinguishable from stale.
 		cols = c.viewFirstN(cols, n)
-		if cap(c.preds) < n {
-			c.preds = make([]numeric.Gaussian, n)
-		}
-		preds := c.preds[:n]
-		if err := batch.PredictBatch(cols, preds); err != nil {
+		if err := batch.PredictBatch(cols, c.preds[:n]); err != nil {
 			return err
 		}
-		for id, pred := range preds {
-			c.memo[id] = cachedPred{gen: gen, pred: pred}
+		for id := 0; id < n; id++ {
+			c.slotGens[id].Store(gen)
 		}
 		return nil
 	}
@@ -307,7 +327,8 @@ func (c *Cached) Prefill(cols [][]float64) error {
 		if err != nil {
 			return err
 		}
-		c.memo[id] = cachedPred{gen: gen, pred: pred}
+		c.preds[id] = pred
+		c.slotGens[id].Store(gen)
 	}
 	return nil
 }
@@ -370,7 +391,7 @@ func (c *Cached) Update(x []float64, y float64) error {
 	if len(cols) == 0 {
 		return nil
 	}
-	n := len(c.memo)
+	n := len(c.slotGens)
 	for _, col := range cols {
 		if len(col) < n {
 			n = len(col)
@@ -385,8 +406,8 @@ func (c *Cached) Update(x []float64, y float64) error {
 			return err
 		}
 		for id := 0; id < n; id++ {
-			if e := &c.memo[id]; e.gen == oldGen && !affected[id] {
-				e.gen = newGen
+			if c.slotGens[id].Load() == oldGen && !affected[id] {
+				c.slotGens[id].Store(newGen)
 			}
 		}
 		return nil
@@ -396,15 +417,14 @@ func (c *Cached) Update(x []float64, y float64) error {
 	}
 	row := c.row[:len(cols)]
 	for id := 0; id < n; id++ {
-		e := &c.memo[id]
-		if e.gen != oldGen {
+		if c.slotGens[id].Load() != oldGen {
 			continue
 		}
 		for d, col := range cols {
 			row[d] = col[id]
 		}
 		if !inc.AffectedByLastUpdate(row) {
-			e.gen = newGen
+			c.slotGens[id].Store(newGen)
 		}
 	}
 	return nil
@@ -414,8 +434,11 @@ func (c *Cached) Update(x []float64, y float64) error {
 // feature matrix reference for selective invalidation — into the receiver,
 // reusing its storage. The receiver's inner regressor must be an instance of
 // the same concrete type as src's (typically both from one Factory).
-// CloneFrom only reads src, so concurrent clones from one source are safe;
-// the receiver must be private to the caller.
+// CloneFrom only reads src, so concurrent clones from one quiescent source
+// are safe; the receiver must be private to the caller. A source slot caught
+// mid-publication (a concurrent PredictID cold miss, possible when the
+// source is still being read lazily elsewhere) is copied as stale — the
+// clone then recomputes that one prediction on demand.
 func (c *Cached) CloneFrom(src *Cached) error {
 	inc, ok := src.inner.(IncrementalRegressor)
 	if !ok {
@@ -425,14 +448,35 @@ func (c *Cached) CloneFrom(src *Cached) error {
 		return err
 	}
 	c.gen = src.gen
-	c.memo = append(c.memo[:0], src.memo...)
+	n := len(src.slotGens)
+	if cap(c.preds) < n {
+		c.slotGens = make([]atomic.Uint32, n)
+		c.preds = make([]numeric.Gaussian, 0, n)
+	}
+	c.slotGens = c.slotGens[:n]
+	c.preds = c.preds[:n]
+	for id := 0; id < n; id++ {
+		g := src.slotGens[id].Load()
+		if g == memoWriting {
+			g = 0
+		} else if g == src.gen+memoGenOffset {
+			c.preds[id] = src.preds[id]
+		}
+		c.slotGens[id].Store(g)
+	}
 	c.lastCols = src.lastCols
 	return nil
 }
 
-// memoGenOffset keeps the zero value of cachedPred.gen distinct from the
-// generation of an untrained model, so a fresh memo never reports a hit.
+// memoGenOffset keeps the zero value of a slot's generation tag distinct
+// from the generation of an untrained model, so a fresh memo never reports a
+// hit.
 const memoGenOffset = 1
+
+// memoWriting marks a memo slot whose publication is claimed by an in-flight
+// PredictID writer. Generations are far from wrapping to it in any realistic
+// campaign.
+const memoWriting = ^uint32(0)
 
 // Statically assert that Cached remains a Regressor.
 var _ Regressor = (*Cached)(nil)

@@ -1,7 +1,9 @@
 package model
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/bagging"
@@ -239,6 +241,63 @@ func TestCachedPrefillTrimsLongerColumns(t *testing.T) {
 		}
 		if got != want {
 			t.Fatalf("config %d: trimmed prefill %+v != scalar %+v", id, got, want)
+		}
+	}
+}
+
+// TestCachedConcurrentColdMisses pins the lock-free memo read path: many
+// goroutines hammer PredictID over the same cold slots — racing cold misses
+// on one slot included — and every call must return the deterministic inner
+// prediction with no torn reads. Run with -race (the CI race step does) to
+// verify the publication protocol: prediction written before the generation
+// tag, tag claimed by compare-and-swap.
+func TestCachedConcurrentColdMisses(t *testing.T) {
+	features, targets := trainingData()
+	const n = 24
+	_, rows := spaceColumns(n)
+	cached := NewCached(bagging.New(bagging.Params{NumTrees: 6}, 5), n)
+	ref := bagging.New(bagging.Params{NumTrees: 6}, 5)
+	if err := cached.Fit(features, targets); err != nil {
+		t.Fatalf("Fit error: %v", err)
+	}
+	if err := ref.Fit(features, targets); err != nil {
+		t.Fatalf("reference Fit error: %v", err)
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Every goroutine sweeps all slots in a different order, so cold
+			// misses collide on the same slots across goroutines.
+			for rep := 0; rep < 50; rep++ {
+				for k := 0; k < n; k++ {
+					id := (k*(g+1) + rep) % n
+					got, err := cached.PredictID(id, rows[id])
+					if err != nil {
+						errs[g] = err
+						return
+					}
+					want, err := ref.Predict(rows[id])
+					if err != nil {
+						errs[g] = err
+						return
+					}
+					if got != want {
+						errs[g] = fmt.Errorf("slot %d: concurrent PredictID %+v != inner %+v", id, got, want)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
 		}
 	}
 }

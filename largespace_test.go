@@ -100,6 +100,50 @@ func TestSampledStrategyIndependentOfWorkerCount(t *testing.T) {
 	}
 }
 
+// TestSampledStrategyLookahead2WorkerDeterminism pins worker-count
+// independence for the sampled search strategy under long-sighted planning
+// with incremental speculative refits — the combination that routes every
+// decision through the speculation scheduler's forked subtrees on a
+// streaming space. Until this test, only LA=1 sampled campaigns and LA=2
+// exhaustive campaigns were pinned.
+func TestSampledStrategyLookahead2WorkerDeterminism(t *testing.T) {
+	results := make([]Result, 0, 2)
+	for _, workers := range []int{1, 8} {
+		job, opts := largeGridFixture(t, 32, 22, 11) // 15,360 configurations
+		tuner, err := NewTuner(TunerConfig{
+			Lookahead:        2,
+			Workers:          workers,
+			SpeculativeRefit: "incremental",
+			Search:           SearchConfig{Strategy: "sampled", SampleSize: 96},
+		})
+		if err != nil {
+			t.Fatalf("NewTuner: %v", err)
+		}
+		res, err := tuner.Optimize(job, opts)
+		if err != nil {
+			t.Fatalf("Optimize(workers=%d): %v", workers, err)
+		}
+		results = append(results, res)
+	}
+	a, b := results[0], results[1]
+	if len(a.Trials) <= 16 {
+		t.Fatalf("campaign made no post-bootstrap decisions (%d trials); the comparison is vacuous", len(a.Trials))
+	}
+	if len(a.Trials) != len(b.Trials) {
+		t.Fatalf("trial counts differ across worker counts: %d vs %d", len(a.Trials), len(b.Trials))
+	}
+	for i := range a.Trials {
+		if a.Trials[i].Config.ID != b.Trials[i].Config.ID {
+			t.Fatalf("trial %d differs across worker counts: %d vs %d",
+				i, a.Trials[i].Config.ID, b.Trials[i].Config.ID)
+		}
+	}
+	if a.Recommended.Config.ID != b.Recommended.Config.ID {
+		t.Errorf("recommendations differ across worker counts: %d vs %d",
+			a.Recommended.Config.ID, b.Recommended.Config.ID)
+	}
+}
+
 // TestAutoSearchOnLargeStreamingSpace checks the zero-value TunerConfig path:
 // with no explicit strategy the planner must pick sampled search on a large
 // streaming space and still complete the campaign.

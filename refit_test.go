@@ -141,6 +141,70 @@ func TestIncrementalRefitWorkerCountIndependence(t *testing.T) {
 	}
 }
 
+// TestLookahead3WorkerCountIndependence extends the determinism contract to
+// LA=3, where SpecRefitAuto resolves to incremental refits and the
+// speculation scheduler forks the first two speculation layers into
+// work-stealing tasks: the trial sequence and recommendation must be
+// identical for workers 1, 2, 4 and 8. Forked subtree results are reduced in
+// canonical outcome order and pruning thresholds only ever tighten, so no
+// amount of stealing may change a decision.
+func TestLookahead3WorkerCountIndependence(t *testing.T) {
+	jobs, err := SyntheticScoutJobs(42)
+	if err != nil {
+		t.Fatalf("SyntheticScoutJobs: %v", err)
+	}
+	job := jobs[0]
+	env, err := NewJobEnvironment(job)
+	if err != nil {
+		t.Fatalf("NewJobEnvironment: %v", err)
+	}
+	tmax, err := job.RuntimeForFeasibleFraction(0.5)
+	if err != nil {
+		t.Fatalf("RuntimeForFeasibleFraction: %v", err)
+	}
+	bootstrap, err := optimizer.ResolveBootstrapSize(job.Space(), Options{Budget: 1, MaxRuntimeSeconds: 1})
+	if err != nil {
+		t.Fatalf("ResolveBootstrapSize: %v", err)
+	}
+	opts := Options{
+		// A 2x budget keeps the LA=3 campaign quick while leaving enough
+		// post-bootstrap decisions for the comparison to mean something.
+		Budget:            float64(bootstrap) * job.MeanCost() * 2,
+		MaxRuntimeSeconds: tmax,
+		Seed:              7,
+	}
+	var reference []int
+	var referenceRec int
+	for _, workers := range []int{1, 2, 4, 8} {
+		tuner, err := NewTuner(TunerConfig{Lookahead: 3, Workers: workers})
+		if err != nil {
+			t.Fatalf("NewTuner: %v", err)
+		}
+		res, err := tuner.Optimize(env, opts)
+		if err != nil {
+			t.Fatalf("Optimize(workers=%d): %v", workers, err)
+		}
+		trials := make([]int, len(res.Trials))
+		for i, tr := range res.Trials {
+			trials[i] = tr.Config.ID
+		}
+		if workers == 1 {
+			if len(trials) <= bootstrap {
+				t.Fatalf("campaign made no post-bootstrap decisions (%d trials); the comparison is vacuous", len(trials))
+			}
+			reference = trials
+			referenceRec = res.Recommended.Config.ID
+			continue
+		}
+		if fmt.Sprint(trials) != fmt.Sprint(reference) {
+			t.Fatalf("workers=%d trial sequence %v differs from workers=1 %v", workers, trials, reference)
+		}
+		if res.Recommended.Config.ID != referenceRec {
+			t.Fatalf("workers=%d recommendation %d differs from workers=1 %d", workers, res.Recommended.Config.ID, referenceRec)
+		}
+	}
+}
+
 func TestNewTunerRejectsUnknownSpeculativeRefit(t *testing.T) {
 	if _, err := NewTuner(TunerConfig{SpeculativeRefit: "bogus"}); err == nil {
 		t.Fatal("NewTuner accepted an unknown speculative-refit mode")

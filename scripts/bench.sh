@@ -7,13 +7,16 @@
 #   scripts/bench.sh out.json        # CI smoke: every benchmark, 3 repetitions
 #
 # The default set is the perf-tracked benchmarks reported in README
-# "Performance": the LA=2 planner (full vs incremental speculative refits)
-# and the LA=3 planner on the 384-point Tensorflow space, the ensemble
-# fit+full-space-sweep microbenchmark, and the large-space planner (sampled
-# strategy over 15k-246k-point streaming spaces). Every benchmark runs
-# BENCH_COUNT times (default 3) and benchjson records the per-metric MEDIAN —
-# a single planner iteration is too noisy to detect real regressions, and the
-# medians are what the CI bench-regression gate compares against the
+# "Performance": the per-decision LA=2 planner (full vs incremental
+# speculative refits) and LA=3 planner on the 384-point Tensorflow space,
+# each across workers 1/2/4/8 (these live in internal/core, where one op is
+# exactly one planning decision, so b.N >= 3 at default benchtime), the
+# ensemble fit+full-space-sweep microbenchmark, and the large-space planner
+# (sampled strategy over 15k-246k-point streaming spaces). Every benchmark
+# runs BENCH_COUNT times (default 3) and benchjson records the per-metric
+# MEDIAN — a single planner iteration is too noisy to detect real
+# regressions, and the medians (together with allocs/op on the planner
+# benchmarks) are what the CI bench-regression gate compares against the
 # committed baseline. BENCH.json is that baseline; regenerate it on
 # comparable idle hardware before updating it.
 set -eu
@@ -30,7 +33,7 @@ COUNT="${BENCH_COUNT:-3}"
 # broken benchmark must fail this script (CI relies on that).
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
-if ! go test -run 'XXX' -bench "$PATTERN" -benchtime "$BENCHTIME" -count "$COUNT" . > "$RAW"; then
+if ! go test -run 'XXX' -bench "$PATTERN" -benchtime "$BENCHTIME" -count "$COUNT" . ./internal/core > "$RAW"; then
 	cat "$RAW" >&2
 	echo "bench.sh: go test -bench failed" >&2
 	exit 1
