@@ -191,6 +191,53 @@ func BenchmarkLargeSpaceDecision(b *testing.B) {
 	}
 }
 
+// BenchmarkServesimDecision measures the per-decision planning time of an
+// LA=2 incremental-refit campaign on the stochastic serving environment
+// (chat profile, 384 configurations, SLO-attainment extra constraint). The
+// environment simulates every profiled run, so — unlike the lookup-table
+// benchmarks — each op includes genuine trial execution; the budget leaves a
+// handful of post-bootstrap decisions so ns/decision still tracks planning
+// cost. Fresh same-seed environments per iteration keep iterations
+// identical.
+func BenchmarkServesimDecision(b *testing.B) {
+	probe, err := NewServingEnvironment("chat", 1)
+	if err != nil {
+		b.Fatalf("NewServingEnvironment: %v", err)
+	}
+	tmax, meanCost, err := probe.ApproxStats(0.7, 96)
+	if err != nil {
+		b.Fatalf("ApproxStats: %v", err)
+	}
+	const bootstrap = 16
+	opts := Options{
+		Budget:            bootstrap * meanCost * 1.5,
+		MaxRuntimeSeconds: tmax,
+		BootstrapSize:     bootstrap,
+		Seed:              1,
+		ExtraConstraints:  []Constraint{probe.Constraint()},
+	}
+	tuner, err := NewTuner(TunerConfig{Lookahead: 2, SpeculativeRefit: "incremental"})
+	if err != nil {
+		b.Fatalf("NewTuner: %v", err)
+	}
+	b.ResetTimer()
+	decisions := 0
+	for i := 0; i < b.N; i++ {
+		env, err := NewServingEnvironment("chat", 1)
+		if err != nil {
+			b.Fatalf("NewServingEnvironment: %v", err)
+		}
+		res, err := tuner.Optimize(env, opts)
+		if err != nil {
+			b.Fatalf("Optimize: %v", err)
+		}
+		decisions += res.Explorations - bootstrap
+	}
+	if decisions > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(decisions), "ns/decision")
+	}
+}
+
 func BenchmarkTable3NextConfigBO(b *testing.B) {
 	bo, err := NewBOBaseline()
 	if err != nil {

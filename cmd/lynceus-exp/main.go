@@ -38,6 +38,7 @@ func run() error {
 		dataSeed   = flag.Int64("dataset-seed", 42, "seed of the synthetic dataset generators")
 		scoutLimit = flag.Int("scout-jobs", 0, "limit the number of Scout jobs (0 = all 18)")
 		cpLimit    = flag.Int("cherrypick-jobs", 0, "limit the number of CherryPick jobs (0 = all 5)")
+		ssLimit    = flag.Int("servesim-profiles", 0, "limit the number of serving profiles in the servesim experiment (0 = all 3)")
 		lookahead  = flag.Int("lookahead", 0, "lookahead window of the full Lynceus configuration (0 = paper default 2)")
 		outDir     = flag.String("out", "", "directory to write per-experiment result files (optional)")
 		csvOut     = flag.Bool("csv", false, "additionally write each result table as CSV next to the .txt report (requires -out)")
@@ -78,12 +79,13 @@ func run() error {
 	}
 
 	suite := experiments.NewSuite(experiments.Options{
-		Runs:               *runs,
-		Seed:               *seed,
-		DatasetSeed:        *dataSeed,
-		ScoutJobLimit:      *scoutLimit,
-		CherryPickJobLimit: *cpLimit,
-		Lookahead:          *lookahead,
+		Runs:                 *runs,
+		Seed:                 *seed,
+		DatasetSeed:          *dataSeed,
+		ScoutJobLimit:        *scoutLimit,
+		CherryPickJobLimit:   *cpLimit,
+		ServesimProfileLimit: *ssLimit,
+		Lookahead:            *lookahead,
 	})
 
 	for _, id := range ids {

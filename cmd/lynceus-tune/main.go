@@ -1,12 +1,14 @@
 // Command lynceus-tune runs the Lynceus tuner (or one of the baselines)
-// against a profiled job stored as a CSV lookup table, and prints the
-// recommended configuration together with the exploration log.
+// against a profiled job stored as a CSV lookup table — or against a
+// simulated LLM serving cluster — and prints the recommended configuration
+// together with the exploration log.
 //
 // Usage:
 //
 //	lynceus-datagen -dataset tensorflow -job cnn -out data/
 //	lynceus-tune -dataset data/cnn.csv -budget 2.5 -tmax 300
 //	lynceus-tune -dataset data/cnn.csv -budget-multiplier 3 -optimizer bo
+//	lynceus-tune -servesim chat -seed 7 -v
 package main
 
 import (
@@ -28,7 +30,8 @@ func main() {
 
 func run() error {
 	var (
-		datasetPath      = flag.String("dataset", "", "path to the job's CSV lookup table (required)")
+		datasetPath      = flag.String("dataset", "", "path to the job's CSV lookup table (required unless -servesim is given)")
+		servesimProfile  = flag.String("servesim", "", "tune a simulated LLM serving cluster instead of a CSV dataset: profile name (chat, code or batch)")
 		budget           = flag.Float64("budget", 0, "profiling budget in USD (overrides -budget-multiplier)")
 		budgetMultiplier = flag.Float64("budget-multiplier", 3, "budget as a multiple of the expected bootstrap cost (paper's b parameter)")
 		tmax             = flag.Float64("tmax", 0, "maximum acceptable job runtime in seconds (0 = derive so half of the configurations qualify)")
@@ -52,8 +55,15 @@ func run() error {
 		}
 	}()
 
+	if *servesimProfile != "" {
+		if *datasetPath != "" {
+			return fmt.Errorf("-dataset and -servesim are mutually exclusive")
+		}
+		return runServesim(*servesimProfile, *budget, *budgetMultiplier, *tmax,
+			*feasibleFraction, *optimizerName, *lookahead, *seed, *verbose)
+	}
 	if *datasetPath == "" {
-		return fmt.Errorf("missing required -dataset flag")
+		return fmt.Errorf("missing required -dataset flag (or -servesim)")
 	}
 	f, err := os.Open(*datasetPath)
 	if err != nil {
@@ -82,19 +92,9 @@ func run() error {
 		totalBudget = float64(bootstrap) * job.MeanCost() * *budgetMultiplier
 	}
 
-	var opt lynceus.Optimizer
-	switch *optimizerName {
-	case "lynceus":
-		opt, err = lynceus.NewTuner(lynceus.TunerConfig{Lookahead: *lookahead, Myopic: *lookahead == 0})
-	case "bo":
-		opt, err = lynceus.NewBOBaseline()
-	case "rnd":
-		opt = lynceus.NewRandomBaseline()
-	default:
-		return fmt.Errorf("unknown optimizer %q (want lynceus, bo or rnd)", *optimizerName)
-	}
+	opt, err := buildOptimizer(*optimizerName, *lookahead)
 	if err != nil {
-		return fmt.Errorf("creating optimizer: %w", err)
+		return err
 	}
 
 	env, err := lynceus.NewJobEnvironment(job)
@@ -127,6 +127,96 @@ func run() error {
 		res.Recommended.RuntimeSeconds, res.Recommended.Cost, res.RecommendedFeasible)
 	if opt, err := job.Optimum(maxRuntime); err == nil {
 		fmt.Printf("  cost normalized to the true optimum (CNO): %.3f\n", res.Recommended.Cost/opt.Cost)
+	}
+	return nil
+}
+
+// buildOptimizer constructs the requested optimizer.
+func buildOptimizer(name string, lookahead int) (lynceus.Optimizer, error) {
+	var (
+		opt lynceus.Optimizer
+		err error
+	)
+	switch name {
+	case "lynceus":
+		opt, err = lynceus.NewTuner(lynceus.TunerConfig{Lookahead: lookahead, Myopic: lookahead == 0})
+	case "bo":
+		opt, err = lynceus.NewBOBaseline()
+	case "rnd":
+		opt = lynceus.NewRandomBaseline()
+	default:
+		return nil, fmt.Errorf("unknown optimizer %q (want lynceus, bo or rnd)", name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("creating optimizer: %w", err)
+	}
+	return opt, nil
+}
+
+// runServesim tunes a simulated LLM serving cluster instead of a CSV lookup
+// table. The runtime constraint defaults to the feasible-fraction quantile of
+// an analytic makespan subsample, and the budget to the bootstrap cost scaled
+// by -budget-multiplier — mirroring the dataset path, but computed from the
+// simulator's seed-independent ground-truth streams.
+func runServesim(profile string, budget, budgetMultiplier, tmax, feasibleFraction float64,
+	optimizerName string, lookahead int, seed int64, verbose bool) error {
+	env, err := lynceus.NewServingEnvironment(profile, seed)
+	if err != nil {
+		return err
+	}
+	quantile, meanCost, err := env.ApproxStats(feasibleFraction, 96)
+	if err != nil {
+		return fmt.Errorf("estimating makespan stats: %w", err)
+	}
+	maxRuntime := tmax
+	if maxRuntime <= 0 {
+		maxRuntime = quantile
+	}
+	totalBudget := budget
+	if totalBudget <= 0 {
+		bootstrap, err := optimizer.ResolveBootstrapSize(env.Space(), lynceus.Options{Budget: 1, MaxRuntimeSeconds: 1})
+		if err != nil {
+			return err
+		}
+		totalBudget = float64(bootstrap) * meanCost * budgetMultiplier
+	}
+	opt, err := buildOptimizer(optimizerName, lookahead)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("profile=%s configs=%d budget=%.4f$ tmax=%.1fs max-slo-violation=%.2f optimizer=%s\n",
+		profile, env.Space().Size(), totalBudget, maxRuntime, env.Scenario().MaxSLOViolation, opt.Name())
+
+	res, err := opt.Optimize(env, lynceus.Options{
+		Budget:            totalBudget,
+		MaxRuntimeSeconds: maxRuntime,
+		Seed:              seed,
+		ExtraConstraints:  []lynceus.Constraint{env.Constraint()},
+	})
+	if err != nil {
+		return fmt.Errorf("optimizing: %w", err)
+	}
+
+	if verbose {
+		fmt.Println("\nexploration log:")
+		for i, tr := range res.Trials {
+			fmt.Printf("  %3d  %-60s makespan=%6.1fs slo-violation=%.3f cost=%.4f$\n",
+				i+1, env.Space().Describe(tr.Config), tr.RuntimeSeconds,
+				tr.Extra[lynceus.SLOViolationMetric], tr.Cost)
+		}
+	}
+
+	fmt.Printf("\nexplorations: %d\nbudget spent: %.4f$ of %.4f$\n", res.Explorations, res.SpentBudget, res.InitialBudget)
+	fmt.Printf("recommended:  %s\n", env.Space().Describe(res.Recommended.Config))
+	fmt.Printf("  makespan %.1fs, slo-violation %.3f, cost %.4f$ per run (feasible: %v)\n",
+		res.Recommended.RuntimeSeconds, res.Recommended.Extra[lynceus.SLOViolationMetric],
+		res.Recommended.Cost, res.RecommendedFeasible)
+	if best, err := env.Optimum(maxRuntime, 3); err == nil {
+		got, err := env.True(res.Recommended.Config.ID, 3)
+		if err == nil {
+			fmt.Printf("  true cost normalized to the analytic optimum (CNO): %.3f\n", got.MeanCost/best.MeanCost)
+		}
 	}
 	return nil
 }

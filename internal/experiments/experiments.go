@@ -41,6 +41,9 @@ type Options struct {
 	// TensorflowJobLimit bounds how many of the 3 Tensorflow jobs are
 	// evaluated (0 = all); used by the bench-scale regeneration targets.
 	TensorflowJobLimit int
+	// ServesimProfileLimit bounds how many of the 3 serving profiles the
+	// servesim experiment evaluates (0 = all).
+	ServesimProfileLimit int
 	// Lookaheads lists the lookahead windows swept by fig6/fig7
 	// (nil = paper's {0, 1, 2}).
 	Lookaheads []int
@@ -116,6 +119,7 @@ func All() []Experiment {
 		{ID: "fig9", Title: "Figure 9: average NEX vs budget", run: (*Suite).runFig9},
 		{ID: "tab3", Title: "Table 3: average time to compute the next configuration", run: (*Suite).runTable3},
 		{ID: "ablation", Title: "Ablation: Lynceus design choices (reproduction addition, not a paper artifact)", run: (*Suite).runAblation},
+		{ID: "servesim", Title: "Serving-cluster tuning under observation noise (reproduction addition, not a paper artifact)", run: (*Suite).runServesim},
 	}
 }
 

@@ -1,0 +1,236 @@
+package servesim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomCase draws a randomized (scenario, deployment) pair from the rng.
+// Everything is derived from the rng, so the property suite is a fixed,
+// reproducible set of scenarios despite being "random".
+func randomCase(rng *rand.Rand) (Scenario, Deployment) {
+	nClasses := 1 + rng.Intn(3)
+	classes := make([]SLOClass, nClasses)
+	for i := range classes {
+		pMin := 8 + rng.Intn(200)
+		oMin := 2 + rng.Intn(40)
+		classes[i] = SLOClass{
+			Name:       string(rune('a' + i)),
+			Share:      0.2 + rng.Float64(),
+			LatencySLO: 0.5 + rng.Float64()*20,
+			PromptMin:  pMin, PromptMax: pMin + rng.Intn(300),
+			OutputMin: oMin, OutputMax: oMin + rng.Intn(80),
+		}
+	}
+	s := Scenario{
+		Name:            "prop",
+		Classes:         classes,
+		ArrivalRate:     0.5 + rng.Float64()*8,
+		Requests:        10 + rng.Intn(60),
+		QueuePerReplica: 1 + rng.Intn(12),
+		StepBase:        0.01 + rng.Float64()*0.05,
+		StepPerSeq:      rng.Float64() * 0.01,
+		PrefillPerToken: rng.Float64() * 0.001,
+		NoiseSpread:     rng.Float64() * 0.4,
+		MaxSLOViolation: 0.1,
+	}
+	d := Deployment{
+		Replicas: 1 + rng.Intn(4),
+		Type:     Catalog[rng.Intn(len(Catalog))],
+		MaxBatch: 1 << rng.Intn(5),
+		Policy:   Policies()[rng.Intn(len(Policies()))],
+	}
+	return s, d
+}
+
+// replayState rebuilds queue/instance occupancy from a trace, checking every
+// step of the event bookkeeping against the limits the simulator promises.
+type replayState struct {
+	kvUsed   []int
+	batch    []int
+	queued   int
+	inFlight int
+	arrived  int
+	done     int
+	rejected int
+}
+
+// replayTrace validates a trace event-by-event: KV reservations within the
+// budget, batch sizes within max-batch, admissions matching arrivals, and
+// the per-event kv/batch annotations consistent with the replayed state.
+func replayTrace(t *testing.T, d Deployment, trace []TraceEvent) replayState {
+	t.Helper()
+	st := replayState{kvUsed: make([]int, d.Replicas), batch: make([]int, d.Replicas)}
+	need := make(map[int]int) // request -> KV reservation while resident
+	lastT := 0.0
+	for i, ev := range trace {
+		if ev.Time < lastT {
+			t.Fatalf("event %d goes back in time: %v after %v", i, ev.Time, lastT)
+		}
+		lastT = ev.Time
+		switch ev.Kind {
+		case "arrive":
+			st.arrived++
+			st.queued++ // provisional; "reject" or "admit" settles it
+		case "reject":
+			st.queued--
+			st.rejected++
+		case "admit":
+			st.queued--
+			st.inFlight++
+			need[ev.Request] = ev.KVUsed - st.kvUsed[ev.Instance]
+			if need[ev.Request] <= 0 {
+				t.Fatalf("event %d: admit of request %d reserves %d KV tokens", i, ev.Request, need[ev.Request])
+			}
+			st.kvUsed[ev.Instance] = ev.KVUsed
+			st.batch[ev.Instance]++
+			if st.batch[ev.Instance] != ev.Batch {
+				t.Fatalf("event %d: batch annotation %d, replay says %d", i, ev.Batch, st.batch[ev.Instance])
+			}
+			if st.batch[ev.Instance] > d.MaxBatch {
+				t.Fatalf("event %d: batch %d exceeds max-batch %d", i, st.batch[ev.Instance], d.MaxBatch)
+			}
+			if st.kvUsed[ev.Instance] > d.Type.KVTokens {
+				t.Fatalf("event %d: KV %d exceeds budget %d", i, st.kvUsed[ev.Instance], d.Type.KVTokens)
+			}
+		case "finish":
+			st.inFlight--
+			st.done++
+			st.kvUsed[ev.Instance] -= need[ev.Request]
+			delete(need, ev.Request)
+			st.batch[ev.Instance]--
+			if st.kvUsed[ev.Instance] != ev.KVUsed {
+				t.Fatalf("event %d: finish KV annotation %d, replay says %d", i, ev.KVUsed, st.kvUsed[ev.Instance])
+			}
+			if st.kvUsed[ev.Instance] < 0 || st.batch[ev.Instance] < 0 {
+				t.Fatalf("event %d: negative occupancy kv=%d batch=%d", i, st.kvUsed[ev.Instance], st.batch[ev.Instance])
+			}
+		case "step":
+			if ev.Batch > d.MaxBatch || ev.KVUsed > d.Type.KVTokens {
+				t.Fatalf("event %d: step annotation batch=%d kv=%d exceeds limits", i, ev.Batch, ev.KVUsed)
+			}
+		default:
+			t.Fatalf("event %d: unknown kind %q", i, ev.Kind)
+		}
+	}
+	return st
+}
+
+// TestPropertyInvariants runs the randomized scenario suite and checks, per
+// (scenario, deployment, seed):
+//
+//   - request conservation: arrived == completed + rejected + in-flight, and
+//     at drain in-flight == 0;
+//   - the KV budget and max-batch are never exceeded at any trace event;
+//   - bitwise run-determinism for identical (config, seed).
+func TestPropertyInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	for i := 0; i < 40; i++ {
+		s, d := randomCase(rng)
+		seed := rng.Int63()
+		var trace []TraceEvent
+		res, err := Simulate(s, d, seed, &trace)
+		if err != nil {
+			t.Fatalf("case %d: Simulate: %v", i, err)
+		}
+
+		// Conservation on the aggregate result: the simulator runs to drain.
+		if res.Arrived != s.Requests {
+			t.Fatalf("case %d: arrived %d, want %d", i, res.Arrived, s.Requests)
+		}
+		if res.Completed+res.Rejected != res.Arrived {
+			t.Fatalf("case %d: completed %d + rejected %d != arrived %d",
+				i, res.Completed, res.Rejected, res.Arrived)
+		}
+
+		// Conservation and occupancy limits on the replayed trace.
+		st := replayTrace(t, d, trace)
+		if st.arrived != res.Arrived || st.done != res.Completed || st.rejected != res.Rejected {
+			t.Fatalf("case %d: trace counts (%d,%d,%d) disagree with result (%d,%d,%d)",
+				i, st.arrived, st.done, st.rejected, res.Arrived, res.Completed, res.Rejected)
+		}
+		if st.inFlight != 0 || st.queued != 0 {
+			t.Fatalf("case %d: drain left in-flight=%d queued=%d", i, st.inFlight, st.queued)
+		}
+		for inst, kv := range st.kvUsed {
+			if kv != 0 {
+				t.Fatalf("case %d: instance %d drained with %d KV tokens reserved", i, inst, kv)
+			}
+		}
+		for inst, peak := range res.MaxKVUsed {
+			if peak > d.Type.KVTokens {
+				t.Fatalf("case %d: instance %d peak KV %d exceeds budget %d", i, inst, peak, d.Type.KVTokens)
+			}
+		}
+
+		// Bitwise determinism: same (scenario, deployment, seed) -> identical
+		// result and trace.
+		var trace2 []TraceEvent
+		res2, err := Simulate(s, d, seed, &trace2)
+		if err != nil {
+			t.Fatalf("case %d: second Simulate: %v", i, err)
+		}
+		if !reflect.DeepEqual(res, res2) {
+			t.Fatalf("case %d: results differ across identical seeds:\n%+v\n%+v", i, res, res2)
+		}
+		if !reflect.DeepEqual(trace, trace2) {
+			t.Fatalf("case %d: traces differ across identical seeds", i)
+		}
+	}
+}
+
+// TestPropertyFIFOOrdering checks that under the FIFO policy requests start
+// service in global arrival order — per class and overall — with strict
+// head-of-line blocking (no overtaking).
+func TestPropertyFIFOOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 25; i++ {
+		s, d := randomCase(rng)
+		d.Policy = FIFO
+		var trace []TraceEvent
+		if _, err := Simulate(s, d, rng.Int63(), &trace); err != nil {
+			t.Fatalf("case %d: Simulate: %v", i, err)
+		}
+		lastAdmitted := -1
+		lastPerClass := map[int]int{}
+		for _, ev := range trace {
+			if ev.Kind != "admit" {
+				continue
+			}
+			if ev.Request <= lastAdmitted {
+				t.Fatalf("case %d: FIFO admitted request %d after %d", i, ev.Request, lastAdmitted)
+			}
+			lastAdmitted = ev.Request
+			if prev, ok := lastPerClass[ev.Class]; ok && ev.Request <= prev {
+				t.Fatalf("case %d: class %d admitted request %d after %d", i, ev.Class, ev.Request, prev)
+			}
+			lastPerClass[ev.Class] = ev.Request
+		}
+	}
+}
+
+// TestPropertySLOPriorityOrdering checks that under the SLO-priority policy
+// admissions within one class still follow arrival order (the policy reorders
+// across classes, never within one).
+func TestPropertySLOPriorityOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for i := 0; i < 25; i++ {
+		s, d := randomCase(rng)
+		d.Policy = SLOPriority
+		var trace []TraceEvent
+		if _, err := Simulate(s, d, rng.Int63(), &trace); err != nil {
+			t.Fatalf("case %d: Simulate: %v", i, err)
+		}
+		lastPerClass := map[int]int{}
+		for _, ev := range trace {
+			if ev.Kind != "admit" {
+				continue
+			}
+			if prev, ok := lastPerClass[ev.Class]; ok && ev.Request <= prev {
+				t.Fatalf("case %d: class %d admitted request %d after %d", i, ev.Class, ev.Request, prev)
+			}
+			lastPerClass[ev.Class] = ev.Request
+		}
+	}
+}

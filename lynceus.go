@@ -32,6 +32,7 @@ import (
 	"repro/internal/gp"
 	"repro/internal/model"
 	"repro/internal/optimizer"
+	"repro/internal/servesim"
 	"repro/internal/simulator"
 	"repro/internal/synth"
 )
@@ -335,3 +336,35 @@ func SyntheticLargeGridJob(name string, clusterSizes int, seed int64) (*LargeGri
 // Tensorflow jobs; use it with Constraint to exercise the multi-constraint
 // extension.
 const EnergyMetric = synth.EnergyMetric
+
+// Simulated serving environment ----------------------------------------------
+
+// ServingEnvironment is a seeded discrete-event simulation of an LLM
+// inference cluster wrapped as an Environment: the tuner selects replica
+// count, instance type, max-batch and scheduler policy to minimize the dollar
+// cost of serving a fixed request volume under a makespan constraint and an
+// SLO-attainment constraint (pass its Constraint method via
+// Options.ExtraConstraints). Unlike the lookup-table workloads, every Run is
+// stochastic — repeated runs of one configuration observe different costs —
+// while any fixed trial sequence stays bitwise reproducible for a given seed.
+// Its True and Optimum methods compute seed-averaged analytic ground truth,
+// and ApproxStats estimates a makespan quantile and mean run cost for picking
+// the constraint and budget.
+type ServingEnvironment = servesim.Env
+
+// ServingProfiles lists the built-in serving scenarios: "chat"
+// (latency-dominated interactive mix), "code" (long prompts, KV-pressure
+// dominated) and "batch" (throughput-dominated, loose SLOs).
+func ServingProfiles() []string { return servesim.Profiles() }
+
+// NewServingEnvironment creates the simulated serving environment of a named
+// profile over its default 384-point configuration space. The seed drives the
+// per-run observation noise.
+func NewServingEnvironment(profile string, seed int64) (*ServingEnvironment, error) {
+	return servesim.NewProfileEnv(profile, seed)
+}
+
+// SLOViolationMetric is the extra-metric name under which a
+// ServingEnvironment reports the fraction of requests that missed their
+// latency SLO.
+const SLOViolationMetric = servesim.SLOViolationMetric

@@ -11,8 +11,10 @@
 # speculative refits) and LA=3 planner on the 384-point Tensorflow space,
 # each across workers 1/2/4/8 (these live in internal/core, where one op is
 # exactly one planning decision, so b.N >= 3 at default benchtime), the
-# ensemble fit+full-space-sweep microbenchmark, and the large-space planner
-# (sampled strategy over 15k-246k-point streaming spaces). Every benchmark
+# ensemble fit+full-space-sweep microbenchmark, the large-space planner
+# (sampled strategy over 15k-246k-point streaming spaces), and the stochastic
+# serving-cluster campaign (LA=2 incremental on the simulated LLM inference
+# cluster). Every benchmark
 # runs BENCH_COUNT times (default 3) and benchjson records the per-metric
 # MEDIAN — a single planner iteration is too noisy to detect real
 # regressions, and the medians (together with allocs/op on the planner
@@ -24,7 +26,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH.json}"
-PATTERN="${BENCH_PATTERN:-BenchmarkPlannerLA2Tensorflow|BenchmarkPlannerLA3Tensorflow|BenchmarkEnsembleFitPredict|BenchmarkFullSpaceSweep|BenchmarkLargeSpaceDecision}"
+PATTERN="${BENCH_PATTERN:-BenchmarkPlannerLA2Tensorflow|BenchmarkPlannerLA3Tensorflow|BenchmarkEnsembleFitPredict|BenchmarkFullSpaceSweep|BenchmarkLargeSpaceDecision|BenchmarkServesimDecision}"
 BENCHTIME="${BENCH_TIME:-1s}"
 COUNT="${BENCH_COUNT:-3}"
 

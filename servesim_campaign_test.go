@@ -1,0 +1,136 @@
+package lynceus
+
+import (
+	"testing"
+
+	"repro/internal/optimizer"
+	"repro/internal/servesim"
+)
+
+// servesimSpace is the campaign-test configuration space: the batch profile
+// over a 144-point reduction of the default space (4 replica counts x 4
+// instance types x 3 max-batches x 3 policies), which keeps the LA=2
+// campaigns fast enough for the regular test run.
+var servesimSpace = servesim.SpaceParams{
+	Replicas:   []int{1, 2, 3, 4},
+	MaxBatches: []int{4, 8, 16},
+}
+
+// servesimCampaign runs one LA=2 incremental-refit campaign on the batch
+// serving profile with a fresh environment, returning the result together
+// with the environment (for ground-truth queries) and the makespan
+// constraint used.
+func servesimCampaign(t *testing.T, seed int64, workers int) (Result, *servesim.Env, float64) {
+	t.Helper()
+	scenario, err := servesim.ProfileScenario("batch")
+	if err != nil {
+		t.Fatalf("ProfileScenario: %v", err)
+	}
+	env, err := servesim.NewEnv(scenario, servesimSpace, seed)
+	if err != nil {
+		t.Fatalf("NewEnv: %v", err)
+	}
+	tmax, meanCost, err := env.ApproxStats(0.7, 96)
+	if err != nil {
+		t.Fatalf("ApproxStats: %v", err)
+	}
+	bootstrap, err := optimizer.ResolveBootstrapSize(env.Space(), Options{Budget: 1, MaxRuntimeSeconds: 1})
+	if err != nil {
+		t.Fatalf("ResolveBootstrapSize: %v", err)
+	}
+	opts := Options{
+		Budget:            float64(bootstrap) * meanCost * 4,
+		MaxRuntimeSeconds: tmax,
+		Seed:              seed,
+		ExtraConstraints:  []Constraint{env.Constraint()},
+	}
+	tuner, err := NewTuner(TunerConfig{
+		Lookahead:        2,
+		SpeculativeRefit: "incremental",
+		Workers:          workers,
+	})
+	if err != nil {
+		t.Fatalf("NewTuner: %v", err)
+	}
+	res, err := tuner.Optimize(env, opts)
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	return res, env, tmax
+}
+
+// TestServesimCampaignWorkerIndependence runs the same stochastic-environment
+// campaign with 1 and 8 workers (fresh same-seed environments, so both see
+// identical observation noise for identical trial sequences) and requires the
+// trial sequences and recommendation to match exactly: planner decisions on a
+// noisy environment must not depend on scheduling.
+func TestServesimCampaignWorkerIndependence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test in -short mode")
+	}
+	a, _, _ := servesimCampaign(t, 1, 1)
+	b, _, _ := servesimCampaign(t, 1, 8)
+	if len(a.Trials) != len(b.Trials) {
+		t.Fatalf("trial counts differ across worker counts: %d vs %d", len(a.Trials), len(b.Trials))
+	}
+	for i := range a.Trials {
+		if a.Trials[i].Config.ID != b.Trials[i].Config.ID {
+			t.Fatalf("trial %d differs across worker counts: config %d vs %d",
+				i, a.Trials[i].Config.ID, b.Trials[i].Config.ID)
+		}
+		if a.Trials[i].Cost != b.Trials[i].Cost {
+			t.Fatalf("trial %d observed different costs across worker counts: %v vs %v",
+				i, a.Trials[i].Cost, b.Trials[i].Cost)
+		}
+	}
+	if a.Recommended.Config.ID != b.Recommended.Config.ID {
+		t.Fatalf("recommendation differs across worker counts: %d vs %d",
+			a.Recommended.Config.ID, b.Recommended.Config.ID)
+	}
+	if a.SpentBudget != b.SpentBudget {
+		t.Fatalf("spent budget differs across worker counts: %v vs %v", a.SpentBudget, b.SpentBudget)
+	}
+}
+
+// TestServesimCampaignQuality is the noise-robustness test of the tuner: on
+// the stochastic serving environment, across 5 campaign seeds, the
+// recommendation's ground-truth cost (seed-averaged analytic replications)
+// must land within 10% of the space optimum on at least 4 seeds.
+func TestServesimCampaignQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test in -short mode")
+	}
+	const (
+		seeds     = 5
+		reps      = 5
+		tolerance = 1.10
+	)
+	hits := 0
+	var best servesim.TrueStats
+	for seed := int64(0); seed < seeds; seed++ {
+		res, env, tmax := servesimCampaign(t, seed, 0)
+		if seed == 0 {
+			// Ground truth and the makespan constraint derive from
+			// env-seed-independent streams, so the optimum is shared by every
+			// campaign seed and only needs one scan.
+			var err error
+			best, err = env.Optimum(tmax, reps)
+			if err != nil {
+				t.Fatalf("Optimum: %v", err)
+			}
+		}
+		got, err := env.True(res.Recommended.Config.ID, reps)
+		if err != nil {
+			t.Fatalf("seed %d: True: %v", seed, err)
+		}
+		ratio := got.MeanCost / best.MeanCost
+		t.Logf("seed %d: recommended config %d (true cost %.5f), optimum %d (%.5f), ratio %.3f, %d trials",
+			seed, res.Recommended.Config.ID, got.MeanCost, best.ConfigID, best.MeanCost, ratio, len(res.Trials))
+		if ratio <= tolerance {
+			hits++
+		}
+	}
+	if hits < seeds-1 {
+		t.Errorf("recommendation within 10%% of the optimum on %d/%d seeds, want >= %d", hits, seeds, seeds-1)
+	}
+}
