@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	lynceus "repro"
 	"repro/internal/optimizer"
@@ -42,6 +43,11 @@ func run() error {
 		verbose          = flag.Bool("v", false, "print every exploration, not only the recommendation")
 		cpuProfile       = flag.String("cpuprofile", "", "write a CPU profile of the tuning run to this file")
 		memProfile       = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
+		checkpoint       = flag.String("checkpoint", "", "write a campaign snapshot to this file after every trial (requires -optimizer lynceus)")
+		resume           = flag.String("resume", "", "resume the campaign from this snapshot file instead of starting fresh (requires -optimizer lynceus)")
+		faultRate        = flag.Float64("fault-rate", 0, "inject transient failures with this per-attempt probability (deterministic fault stream)")
+		faultSeed        = flag.Int64("fault-seed", 0, "seed of the injected fault stream (0 = derive from -seed)")
+		retryAttempts    = flag.Int("retry-attempts", 3, "profiling attempts per configuration before quarantining it")
 	)
 	flag.Parse()
 
@@ -55,12 +61,20 @@ func run() error {
 		}
 	}()
 
+	cf := campaignFlags{
+		checkpoint:    *checkpoint,
+		resume:        *resume,
+		faultRate:     *faultRate,
+		faultSeed:     *faultSeed,
+		retryAttempts: *retryAttempts,
+	}
+
 	if *servesimProfile != "" {
 		if *datasetPath != "" {
 			return fmt.Errorf("-dataset and -servesim are mutually exclusive")
 		}
 		return runServesim(*servesimProfile, *budget, *budgetMultiplier, *tmax,
-			*feasibleFraction, *optimizerName, *lookahead, *seed, *verbose)
+			*feasibleFraction, *optimizerName, *lookahead, *seed, *verbose, cf)
 	}
 	if *datasetPath == "" {
 		return fmt.Errorf("missing required -dataset flag (or -servesim)")
@@ -92,7 +106,7 @@ func run() error {
 		totalBudget = float64(bootstrap) * job.MeanCost() * *budgetMultiplier
 	}
 
-	opt, err := buildOptimizer(*optimizerName, *lookahead)
+	r, err := newRunner(*optimizerName, *lookahead, cf)
 	if err != nil {
 		return err
 	}
@@ -101,13 +115,18 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	env, err = cf.wrapEnv(env, *seed)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("job=%s configs=%d budget=%.4f$ tmax=%.1fs optimizer=%s\n",
-		job.Name(), job.Size(), totalBudget, maxRuntime, opt.Name())
+		job.Name(), job.Size(), totalBudget, maxRuntime, r.Name())
 
-	res, err := opt.Optimize(env, lynceus.Options{
+	res, err := r.Optimize(env, lynceus.Options{
 		Budget:            totalBudget,
 		MaxRuntimeSeconds: maxRuntime,
 		Seed:              *seed,
+		Retry:             cf.retry(),
 	})
 	if err != nil {
 		return fmt.Errorf("optimizing: %w", err)
@@ -131,15 +150,64 @@ func run() error {
 	return nil
 }
 
-// buildOptimizer constructs the requested optimizer.
-func buildOptimizer(name string, lookahead int) (lynceus.Optimizer, error) {
+// campaignFlags carries the fault-tolerance options shared by both tuning
+// paths: checkpointing, resuming, deterministic fault injection and retries.
+type campaignFlags struct {
+	checkpoint    string
+	resume        string
+	faultRate     float64
+	faultSeed     int64
+	retryAttempts int
+}
+
+// wrapEnv wraps the environment with deterministic fault injection when
+// -fault-rate is set. A quarter of each failed run's cost is billed, as a
+// preempted cloud run would be.
+func (c campaignFlags) wrapEnv(env lynceus.Environment, seed int64) (lynceus.Environment, error) {
+	if c.faultRate <= 0 {
+		return env, nil
+	}
+	fs := c.faultSeed
+	if fs == 0 {
+		fs = seed
+	}
+	return lynceus.NewFaultyEnvironment(env, lynceus.FaultParams{
+		Seed:               fs,
+		TransientRate:      c.faultRate,
+		FailedCostFraction: 0.25,
+	})
+}
+
+// retry builds the retry policy: -retry-attempts attempts with quarantine as
+// graceful degradation. No backoff sleeps — simulated failures retry
+// instantly.
+func (c campaignFlags) retry() lynceus.RetryPolicy {
+	return lynceus.RetryPolicy{MaxAttempts: c.retryAttempts, Quarantine: true}
+}
+
+// runner runs one tuning campaign; the lynceus implementation supports
+// checkpointing and resuming, the baselines run in one shot.
+type runner interface {
+	Name() string
+	Optimize(env lynceus.Environment, opts lynceus.Options) (lynceus.Result, error)
+}
+
+// newRunner constructs the requested optimizer's runner.
+func newRunner(name string, lookahead int, cf campaignFlags) (runner, error) {
+	if name == "lynceus" {
+		return &campaignRunner{
+			cfg: lynceus.TunerConfig{Lookahead: lookahead, Myopic: lookahead == 0},
+			cf:  cf,
+		}, nil
+	}
+	if cf.checkpoint != "" || cf.resume != "" {
+		return nil, fmt.Errorf("-checkpoint and -resume require -optimizer lynceus, got %q", name)
+	}
 	var (
 		opt lynceus.Optimizer
 		err error
 	)
 	switch name {
-	case "lynceus":
-		opt, err = lynceus.NewTuner(lynceus.TunerConfig{Lookahead: lookahead, Myopic: lookahead == 0})
 	case "bo":
 		opt, err = lynceus.NewBOBaseline()
 	case "rnd":
@@ -150,7 +218,89 @@ func buildOptimizer(name string, lookahead int) (lynceus.Optimizer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("creating optimizer: %w", err)
 	}
-	return opt, nil
+	return baselineRunner{opt}, nil
+}
+
+type baselineRunner struct{ opt lynceus.Optimizer }
+
+func (r baselineRunner) Name() string { return r.opt.Name() }
+func (r baselineRunner) Optimize(env lynceus.Environment, opts lynceus.Options) (lynceus.Result, error) {
+	return r.opt.Optimize(env, opts)
+}
+
+// campaignRunner drives a stepwise Lynceus campaign, snapshotting after every
+// trial when -checkpoint is set and resuming from -resume when given.
+type campaignRunner struct {
+	cfg lynceus.TunerConfig
+	cf  campaignFlags
+}
+
+func (r *campaignRunner) Name() string {
+	lookahead := r.cfg.Lookahead
+	if r.cfg.Myopic {
+		lookahead = 0
+	}
+	return fmt.Sprintf("lynceus-la%d", lookahead)
+}
+
+func (r *campaignRunner) Optimize(env lynceus.Environment, opts lynceus.Options) (lynceus.Result, error) {
+	var (
+		t   *lynceus.Tuner
+		err error
+	)
+	if r.cf.resume != "" {
+		data, rerr := os.ReadFile(r.cf.resume)
+		if rerr != nil {
+			return lynceus.Result{}, fmt.Errorf("reading snapshot: %w", rerr)
+		}
+		t, err = lynceus.ResumeTuner(r.cfg, env, data)
+	} else {
+		t, err = lynceus.StartTuner(r.cfg, env, opts)
+	}
+	if err != nil {
+		return lynceus.Result{}, err
+	}
+	for {
+		done, err := t.Step()
+		if err != nil {
+			return lynceus.Result{}, err
+		}
+		if r.cf.checkpoint != "" {
+			snap, serr := t.Snapshot()
+			if serr != nil {
+				return lynceus.Result{}, serr
+			}
+			if werr := writeFileAtomic(r.cf.checkpoint, snap); werr != nil {
+				return lynceus.Result{}, fmt.Errorf("writing checkpoint: %w", werr)
+			}
+		}
+		if done {
+			return t.Result()
+		}
+	}
+}
+
+// writeFileAtomic writes data to path via a same-directory temp file and
+// rename, so a crash mid-write never leaves a truncated snapshot behind.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".lynceus-snapshot-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 // runServesim tunes a simulated LLM serving cluster instead of a CSV lookup
@@ -159,7 +309,7 @@ func buildOptimizer(name string, lookahead int) (lynceus.Optimizer, error) {
 // by -budget-multiplier — mirroring the dataset path, but computed from the
 // simulator's seed-independent ground-truth streams.
 func runServesim(profile string, budget, budgetMultiplier, tmax, feasibleFraction float64,
-	optimizerName string, lookahead int, seed int64, verbose bool) error {
+	optimizerName string, lookahead int, seed int64, verbose bool, cf campaignFlags) error {
 	env, err := lynceus.NewServingEnvironment(profile, seed)
 	if err != nil {
 		return err
@@ -180,19 +330,24 @@ func runServesim(profile string, budget, budgetMultiplier, tmax, feasibleFractio
 		}
 		totalBudget = float64(bootstrap) * meanCost * budgetMultiplier
 	}
-	opt, err := buildOptimizer(optimizerName, lookahead)
+	r, err := newRunner(optimizerName, lookahead, cf)
+	if err != nil {
+		return err
+	}
+	tuneEnv, err := cf.wrapEnv(env, seed)
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("profile=%s configs=%d budget=%.4f$ tmax=%.1fs max-slo-violation=%.2f optimizer=%s\n",
-		profile, env.Space().Size(), totalBudget, maxRuntime, env.Scenario().MaxSLOViolation, opt.Name())
+		profile, env.Space().Size(), totalBudget, maxRuntime, env.Scenario().MaxSLOViolation, r.Name())
 
-	res, err := opt.Optimize(env, lynceus.Options{
+	res, err := r.Optimize(tuneEnv, lynceus.Options{
 		Budget:            totalBudget,
 		MaxRuntimeSeconds: maxRuntime,
 		Seed:              seed,
 		ExtraConstraints:  []lynceus.Constraint{env.Constraint()},
+		Retry:             cf.retry(),
 	})
 	if err != nil {
 		return fmt.Errorf("optimizing: %w", err)

@@ -1,0 +1,163 @@
+// Fault-tolerant campaign example: tune a job on an unreliable cluster and
+// survive a mid-campaign crash without losing (or changing) a single trial.
+//
+// The example wraps a synthetic Scout-style job in a deterministic
+// fault-injecting environment — 15% of profiling attempts fail transiently,
+// 5% straggle to 4x their true runtime — and runs the campaign step by step,
+// writing a snapshot after every trial. A scripted crash then kills the
+// campaign partway through; resuming from the last snapshot against a fresh
+// environment finishes the run and lands on the exact trial sequence and
+// recommendation of a campaign that never crashed.
+//
+//	go run ./examples/faulttolerant
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	lynceus "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "faulttolerant:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	jobs, err := lynceus.SyntheticScoutJobs(42)
+	if err != nil {
+		return err
+	}
+	job := jobs[0]
+	env, err := lynceus.NewJobEnvironment(job)
+	if err != nil {
+		return err
+	}
+	tmax, err := job.RuntimeForFeasibleFraction(0.5)
+	if err != nil {
+		return err
+	}
+
+	cfg := lynceus.TunerConfig{Lookahead: 1}
+	opts := lynceus.Options{
+		Budget:            14 * job.MeanCost(),
+		MaxRuntimeSeconds: tmax,
+		Seed:              7,
+		// The retry policy is what turns injected faults into resilience:
+		// each trial gets three attempts with deterministic backoff, failed
+		// attempts are charged to the budget, and a configuration that cannot
+		// be profiled is quarantined instead of aborting the campaign.
+		Retry: lynceus.RetryPolicy{MaxAttempts: 3, Quarantine: true},
+	}
+	faultCfg := lynceus.FaultParams{
+		Seed:               99,
+		TransientRate:      0.15,
+		StragglerRate:      0.05,
+		FailedCostFraction: 0.25, // a failed attempt still burns 25% of the run cost
+	}
+
+	// Reference: the same campaign on the same faulty cluster, uninterrupted.
+	refEnv, err := lynceus.NewFaultyEnvironment(env, faultCfg)
+	if err != nil {
+		return err
+	}
+	reference, err := lynceus.StartTuner(cfg, refEnv, opts)
+	if err != nil {
+		return err
+	}
+	if _, err := reference.Run(); err != nil {
+		return err
+	}
+	refResult, err := reference.Result()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("uninterrupted campaign: %d trials (%d cluster runs, %d quarantined), recommends %s\n",
+		len(reference.Trials()), refEnv.Runs(), len(reference.QuarantinedIDs()),
+		job.Space().Describe(refResult.Recommended.Config))
+
+	// Crash run: same fault stream, plus a scripted fatal crash two runs
+	// before the end. Snapshots go to a checkpoint file after every step —
+	// exactly what `lynceus-tune -checkpoint` automates.
+	checkpoint := filepath.Join(os.TempDir(), "faulttolerant-example.snapshot.json")
+	defer os.Remove(checkpoint)
+	crashCfg := faultCfg
+	crashCfg.CrashAtRun = refEnv.Runs() - 2
+	crashEnv, err := lynceus.NewFaultyEnvironment(env, crashCfg)
+	if err != nil {
+		return err
+	}
+	tuner, err := lynceus.StartTuner(cfg, crashEnv, opts)
+	if err != nil {
+		return err
+	}
+	steps := 0
+	for {
+		done, err := tuner.Step()
+		if err != nil {
+			if !errors.Is(err, lynceus.ErrInjectedCrash) {
+				return err
+			}
+			fmt.Printf("crash after %d steps: %v\n", steps, err)
+			break
+		}
+		steps++
+		snap, err := tuner.Snapshot()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(checkpoint, snap, 0o644); err != nil {
+			return err
+		}
+		if done {
+			return errors.New("campaign finished before the scripted crash")
+		}
+	}
+
+	// Recovery: a fresh process would read the checkpoint and resume against
+	// a fresh environment. The snapshot carries the fault stream's counters,
+	// so the resumed campaign replays the exact faults the uninterrupted run
+	// saw — including the retries and backoff of any in-flight failure.
+	snap, err := os.ReadFile(checkpoint)
+	if err != nil {
+		return err
+	}
+	resumeEnv, err := lynceus.NewFaultyEnvironment(env, faultCfg) // no crash this time
+	if err != nil {
+		return err
+	}
+	resumed, err := lynceus.ResumeTuner(cfg, resumeEnv, snap)
+	if err != nil {
+		return err
+	}
+	if _, err := resumed.Run(); err != nil {
+		return err
+	}
+	result, err := resumed.Result()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resumed campaign:       %d trials (%d quarantined), recommends %s\n",
+		len(resumed.Trials()), len(resumed.QuarantinedIDs()),
+		job.Space().Describe(result.Recommended.Config))
+
+	same := len(resumed.Trials()) == len(reference.Trials()) &&
+		result.Recommended.Config.ID == refResult.Recommended.Config.ID &&
+		result.SpentBudget == refResult.SpentBudget
+	for i, trial := range resumed.Trials() {
+		if !same || trial.Config.ID != reference.Trials()[i].Config.ID {
+			same = false
+			break
+		}
+	}
+	fmt.Printf("crash+resume matches the uninterrupted run bitwise: %v\n", same)
+	if !same {
+		return errors.New("recovery diverged from the uninterrupted campaign")
+	}
+	return nil
+}

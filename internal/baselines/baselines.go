@@ -158,7 +158,7 @@ func (m *boModels) sweep(space *configspace.Space, h *optimizer.History, remaini
 		}
 		for i := 0; i < n; i++ {
 			id := blk.Start + i
-			if h.Tested(id) {
+			if h.Excluded(id) {
 				continue
 			}
 			costPred := costs[i]
@@ -204,7 +204,7 @@ func (b *BO) Optimize(env optimizer.Environment, opts optimizer.Options) (optimi
 	if err != nil {
 		return optimizer.Result{}, err
 	}
-	if err := optimizer.Bootstrap(env, bootstrapSize, rng, history, budget, opts.SetupCost); err != nil {
+	if err := optimizer.Bootstrap(env, bootstrapSize, rng, history, budget, opts); err != nil {
 		return optimizer.Result{}, err
 	}
 
@@ -236,7 +236,7 @@ func (b *BO) Optimize(env optimizer.Environment, opts optimizer.Options) (optimi
 // candidate predictions come from a block-wise sweep of the space, so the
 // baseline runs unchanged on streaming spaces.
 func (b *BO) nextConfig(space *configspace.Space, h *optimizer.History, models *boModels, prices *optimizer.PriceCache, remainingBudget float64, opts optimizer.Options) (int, bool, error) {
-	if space.Size()-h.Len() <= 0 {
+	if space.Size()-h.ExcludedCount() <= 0 {
 		return 0, false, nil
 	}
 	if err := models.fit(h); err != nil {

@@ -42,7 +42,7 @@ func (r *Random) Optimize(env optimizer.Environment, opts optimizer.Options) (op
 	if err != nil {
 		return optimizer.Result{}, err
 	}
-	if err := optimizer.Bootstrap(env, bootstrapSize, rng, history, budget, opts.SetupCost); err != nil {
+	if err := optimizer.Bootstrap(env, bootstrapSize, rng, history, budget, opts); err != nil {
 		return optimizer.Result{}, err
 	}
 

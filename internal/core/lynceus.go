@@ -1,9 +1,7 @@
 package core
 
 import (
-	"errors"
 	"fmt"
-	"math/rand"
 	"runtime"
 	"sort"
 
@@ -180,48 +178,15 @@ func (l *Lynceus) Name() string {
 func (l *Lynceus) Params() Params { return l.params }
 
 // Optimize implements optimizer.Optimizer by running Algorithm 1 against the
-// environment.
+// environment: it creates a Campaign and steps it to completion. Use
+// NewCampaign directly to drive the run trial by trial (checkpointing,
+// progress reporting).
 func (l *Lynceus) Optimize(env optimizer.Environment, opts optimizer.Options) (optimizer.Result, error) {
-	if env == nil {
-		return optimizer.Result{}, errors.New("core: nil environment")
-	}
-	if err := opts.Validate(); err != nil {
-		return optimizer.Result{}, err
-	}
-
-	rng := rand.New(rand.NewSource(opts.Seed))
-	budget, err := optimizer.NewBudget(opts.Budget)
+	c, err := l.NewCampaign(env, opts)
 	if err != nil {
 		return optimizer.Result{}, err
 	}
-	history := optimizer.NewHistory()
-
-	bootstrapSize, err := optimizer.ResolveBootstrapSize(env.Space(), opts)
-	if err != nil {
-		return optimizer.Result{}, err
-	}
-	if err := optimizer.Bootstrap(env, bootstrapSize, rng, history, budget, opts.SetupCost); err != nil {
-		return optimizer.Result{}, err
-	}
-
-	planner, err := newPlanner(l.params, env, opts)
-	if err != nil {
-		return optimizer.Result{}, err
-	}
-
-	for {
-		next, ok, err := planner.nextConfig(history, budget.Remaining())
-		if err != nil {
-			return optimizer.Result{}, err
-		}
-		if !ok {
-			break
-		}
-		if _, err := optimizer.RunTrial(env, next, history, budget, opts.SetupCost); err != nil {
-			return optimizer.Result{}, err
-		}
-	}
-	return optimizer.BuildResult(l.Name(), history, budget, opts)
+	return c.Run()
 }
 
 // candidate is one untested configuration together with the a-priori known

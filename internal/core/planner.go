@@ -989,11 +989,14 @@ func (p *planner) nextConfig(h *optimizer.History, remainingBudget float64) (con
 		return configspace.Config{}, false, fmt.Errorf("core: nextConfig called with an empty history")
 	}
 
-	untestedCount := p.space.Size() - h.Len()
+	// Quarantined configurations are excluded alongside tested ones; with an
+	// empty quarantine set this degenerates to the historical tested-only
+	// filter (ExcludedCount == h.Len()), which the golden campaigns pin.
+	untestedCount := p.space.Size() - h.ExcludedCount()
 	if untestedCount <= 0 {
 		return configspace.Config{}, false, nil
 	}
-	ids, err := p.strategy.Select(p.space, h.Tested, untestedCount, p.iteration, p.opts.Seed)
+	ids, err := p.strategy.Select(p.space, h.Excluded, untestedCount, p.iteration, p.opts.Seed)
 	if err != nil {
 		return configspace.Config{}, false, fmt.Errorf("core: search strategy %q: %w", p.strategy.Name(), err)
 	}

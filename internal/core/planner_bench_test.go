@@ -72,7 +72,7 @@ func newPlannerBenchFixture(tb testing.TB, lookahead int, refit SpeculativeRefit
 	}
 	history := optimizer.NewHistory()
 	rng := rand.New(rand.NewSource(opts.Seed))
-	if err := optimizer.Bootstrap(env, bootstrap, rng, history, budget, nil); err != nil {
+	if err := optimizer.Bootstrap(env, bootstrap, rng, history, budget, opts); err != nil {
 		tb.Fatalf("Bootstrap: %v", err)
 	}
 	params, err := Params{

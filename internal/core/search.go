@@ -31,8 +31,9 @@ type SearchStrategy interface {
 	Name() string
 	// Select returns the IDs of the candidate configurations examined at this
 	// decision, in increasing ID order. tested reports whether a
-	// configuration has already been profiled; untestedCount is the number of
-	// untested configurations remaining; iteration counts the planner's
+	// configuration is out of consideration — already profiled or quarantined
+	// after exhausting its retry attempts (History.Excluded); untestedCount is
+	// the number of configurations remaining; iteration counts the planner's
 	// decisions from zero; seed is the run seed (Options.Seed).
 	Select(space *configspace.Space, tested func(id int) bool, untestedCount, iteration int, seed int64) ([]int, error)
 }

@@ -145,20 +145,162 @@ func RunTrial(env Environment, cfg configspace.Config, h *History, budget *Budge
 	return trial, nil
 }
 
-// Bootstrap profiles n configurations chosen by Latin Hypercube Sampling and
-// records them in the history (Algorithm 1, lines 6-8).
-func Bootstrap(env Environment, n int, rng *rand.Rand, h *History, budget *Budget, setup SetupCostFunc) error {
+// Bootstrapper runs the LHS bootstrap phase (Algorithm 1, lines 6-8) one
+// probe at a time, so campaign drivers can checkpoint between probes. It is
+// resilient to failed probes: a configuration that exhausts its retry
+// attempts is quarantined, its failed-attempt costs are charged, and a
+// deterministic replacement is drawn so the phase still yields n training
+// samples — a single flaky cloud run no longer aborts the whole campaign.
+//
+// Replacement draws come from a counter-indexed SplitMix64 stream seeded by
+// Options.Seed, never from the shared *rand.Rand — so fault-free runs consume
+// exactly the same random stream as before (only lhs.Sample draws from rng),
+// and a resumed campaign replays the draws by restoring the probe and draw
+// counters (State/Restore).
+type Bootstrapper struct {
+	env          Environment
+	plan         []configspace.Config
+	target       int
+	resampleSeed uint64
+	probeIdx     int
+	draws        int
+	successes    int
+	finished     bool
+}
+
+// NewBootstrapper plans the bootstrap phase: n LHS probes drawn from rng.
+func NewBootstrapper(env Environment, n int, rng *rand.Rand, opts Options) (*Bootstrapper, error) {
 	if n <= 0 {
-		return fmt.Errorf("optimizer: bootstrap size must be positive, got %d", n)
+		return nil, fmt.Errorf("optimizer: bootstrap size must be positive, got %d", n)
 	}
 	samples, err := lhs.Sample(env.Space(), n, rng)
 	if err != nil {
-		return fmt.Errorf("optimizer: bootstrap sampling: %w", err)
+		return nil, fmt.Errorf("optimizer: bootstrap sampling: %w", err)
 	}
-	for _, cfg := range samples {
-		if _, err := RunTrial(env, cfg, h, budget, setup); err != nil {
-			return fmt.Errorf("optimizer: bootstrap trial on config %d: %w", cfg.ID, err)
+	return &Bootstrapper{
+		env:          env,
+		plan:         samples,
+		target:       n,
+		resampleSeed: splitmix64(uint64(opts.Seed)*0x9E3779B97F4A7C15 + 0xB5297A4D3BD6F0AD),
+	}, nil
+}
+
+// Target returns the number of training samples the phase aims for.
+func (b *Bootstrapper) Target() int { return b.target }
+
+// Done reports whether the bootstrap phase is over: the target number of
+// samples was gathered, or the space ran out of profilable configurations
+// mid-phase.
+func (b *Bootstrapper) Done() bool { return b.finished || b.successes >= b.target }
+
+// State returns the phase's progress for checkpointing: the index of the next
+// planned probe, the number of replacement draws consumed, the number of
+// probes profiled successfully, and whether the phase ended early.
+func (b *Bootstrapper) State() (probeIdx, draws, successes int, finished bool) {
+	return b.probeIdx, b.draws, b.successes, b.finished
+}
+
+// Restore rewinds/advances the progress counters to a checkpointed state.
+func (b *Bootstrapper) Restore(probeIdx, draws, successes int, finished bool) error {
+	if probeIdx < 0 || probeIdx > len(b.plan) || draws < 0 || successes < 0 || successes > b.target {
+		return fmt.Errorf("optimizer: invalid bootstrap state (probe %d of %d, %d draws, %d successes)",
+			probeIdx, len(b.plan), draws, successes)
+	}
+	b.probeIdx = probeIdx
+	b.draws = draws
+	b.successes = successes
+	b.finished = finished
+	return nil
+}
+
+// nextProbe returns the next configuration to profile: the next planned probe
+// that is still profilable, then deterministic replacement draws once the
+// plan is consumed (quarantined probes leave a hole to fill). Returns false
+// when no profilable configuration remains.
+func (b *Bootstrapper) nextProbe(h *History) (configspace.Config, bool) {
+	for b.probeIdx < len(b.plan) {
+		cfg := b.plan[b.probeIdx]
+		b.probeIdx++
+		if !h.Excluded(cfg.ID) {
+			return cfg, true
 		}
 	}
-	return nil
+	space := b.env.Space()
+	total := space.Size()
+	if h.ExcludedCount() >= total {
+		return configspace.Config{}, false
+	}
+	// Rejection-sample replacements from the counter-indexed stream; the
+	// excluded fraction is tiny in practice, so a handful of draws suffice.
+	// The dense endgame falls back to the smallest non-excluded ID, which is
+	// equally deterministic.
+	for k := 0; k < 64; k++ {
+		b.draws++
+		id := int(splitmix64(b.resampleSeed+uint64(b.draws)*0x9E3779B97F4A7C15) % uint64(total))
+		if h.Excluded(id) {
+			continue
+		}
+		if cfg, err := space.Config(id); err == nil {
+			return cfg, true
+		}
+	}
+	for id := 0; id < total; id++ {
+		if !h.Excluded(id) {
+			if cfg, err := space.Config(id); err == nil {
+				return cfg, true
+			}
+		}
+	}
+	return configspace.Config{}, false
+}
+
+// Step profiles one bootstrap probe (including its retries) and reports
+// whether the phase is over. Probes that exhaust their retry attempts are
+// always quarantined and replaced — the campaign aborts only on fatal
+// environment failures (ErrEnvironmentFatal) or bookkeeping errors. When the
+// space runs out of profilable configurations the phase ends with the partial
+// sample, or with an error wrapping ErrSpaceExhausted if not even one probe
+// succeeded.
+func (b *Bootstrapper) Step(h *History, budget *Budget, opts Options) (bool, error) {
+	if b.Done() {
+		return true, nil
+	}
+	cfg, ok := b.nextProbe(h)
+	if !ok {
+		b.finished = true
+		if b.successes == 0 && h.Len() == 0 {
+			return true, fmt.Errorf("optimizer: bootstrap could not profile any configuration: %w", ErrSpaceExhausted)
+		}
+		return true, nil
+	}
+	popts := opts
+	popts.Retry.Quarantine = true
+	_, profiled, err := RunTrialWithRetry(b.env, cfg, h, budget, popts)
+	if err != nil {
+		return false, fmt.Errorf("optimizer: bootstrap trial on config %d: %w", cfg.ID, err)
+	}
+	if profiled {
+		b.successes++
+	}
+	return b.Done(), nil
+}
+
+// Bootstrap profiles n configurations chosen by Latin Hypercube Sampling and
+// records them in the history (Algorithm 1, lines 6-8). Probes that fail
+// terminally are quarantined and deterministically resampled instead of
+// aborting the campaign; see Bootstrapper.
+func Bootstrap(env Environment, n int, rng *rand.Rand, h *History, budget *Budget, opts Options) error {
+	b, err := NewBootstrapper(env, n, rng, opts)
+	if err != nil {
+		return err
+	}
+	for {
+		done, err := b.Step(h, budget, opts)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
 }

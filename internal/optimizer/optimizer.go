@@ -10,13 +10,35 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/configspace"
 )
 
-// ErrBudgetExhausted is returned by helpers that cannot proceed because the
-// remaining budget is non-positive.
-var ErrBudgetExhausted = errors.New("optimizer: budget exhausted")
+// Campaign-control sentinels. Optimizers and campaign drivers signal *why* a
+// run stopped (or could not continue) with these typed errors instead of
+// ad-hoc strings, so callers can branch with errors.Is.
+var (
+	// ErrBudgetExhausted reports that the profiling budget cannot pay for any
+	// further trial: a campaign that stops with it ended normally, having
+	// spent what it was given.
+	ErrBudgetExhausted = errors.New("optimizer: budget exhausted")
+	// ErrRunFailed reports that profiling a configuration failed terminally —
+	// every attempt permitted by the retry policy errored. Terminal run errors
+	// wrap both this sentinel and the underlying environment error.
+	ErrRunFailed = errors.New("optimizer: profiling run failed")
+	// ErrSpaceExhausted reports that no profilable configuration remains: every
+	// configuration of the space has been tested or quarantined.
+	ErrSpaceExhausted = errors.New("optimizer: configuration space exhausted")
+	// ErrTrialTimeout reports that a profiling run exceeded the retry policy's
+	// per-trial timeout. Timeouts are transient: the attempt is retried.
+	ErrTrialTimeout = errors.New("optimizer: trial timed out")
+	// ErrEnvironmentFatal marks environment errors that must abort the
+	// campaign immediately — no retry, no quarantine — such as a revoked cloud
+	// credential or an injected crash point in fault testing. Environments
+	// signal it by wrapping this sentinel.
+	ErrEnvironmentFatal = errors.New("optimizer: fatal environment failure")
+)
 
 // TrialResult is the outcome of profiling the job on one configuration.
 type TrialResult struct {
@@ -63,6 +85,19 @@ type Environment interface {
 	UnitPricePerHour(cfg configspace.Config) (float64, error)
 }
 
+// StatefulEnvironment is optionally implemented by environments that carry
+// mutable state beyond the space and price list (per-configuration attempt
+// counters, noise-stream positions, ...). Campaign snapshots embed the state
+// and restore it on resume, so environment-side randomness replays bitwise
+// across a crash/resume cycle.
+type StatefulEnvironment interface {
+	Environment
+	// EnvState serializes the environment's mutable state.
+	EnvState() ([]byte, error)
+	// RestoreEnvState restores state produced by EnvState.
+	RestoreEnvState(data []byte) error
+}
+
 // Constraint is one "metric ≤ threshold" requirement of the multi-constraint
 // extension (paper §4.4).
 type Constraint struct {
@@ -97,6 +132,12 @@ type Options struct {
 	// SetupCost, when non-nil, is charged against the budget every time the
 	// deployed configuration changes.
 	SetupCost SetupCostFunc
+	// Retry governs how trial failures are handled: attempts per
+	// configuration, per-trial timeout, backoff between attempts, and whether
+	// a configuration that exhausts its attempts is quarantined (campaign
+	// continues) or aborts the run. The zero value preserves the historical
+	// behavior: one attempt, no timeout, abort on failure.
+	Retry RetryPolicy
 }
 
 // Validate checks the options.
@@ -115,7 +156,7 @@ func (o Options) Validate() error {
 			return errors.New("optimizer: extra constraint with empty metric name")
 		}
 	}
-	return nil
+	return o.Retry.Validate()
 }
 
 // Result summarizes an optimization run.
@@ -182,22 +223,25 @@ func (b *Budget) Spend(amount float64) error {
 }
 
 // History is the training set S plus bookkeeping about which configurations
-// have been tested and which configuration is currently deployed.
+// have been tested, which have been quarantined after exhausting their retry
+// attempts, and which configuration is currently deployed.
 type History struct {
-	trials   []TrialResult
-	tested   map[int]bool
-	deployed *configspace.Config
+	trials      []TrialResult
+	tested      map[int]bool
+	quarantined map[int]bool
+	deployed    *configspace.Config
 }
 
 // NewHistory creates an empty history.
 func NewHistory() *History {
-	return &History{tested: make(map[int]bool)}
+	return &History{tested: make(map[int]bool), quarantined: make(map[int]bool)}
 }
 
 // Add records a trial and marks its configuration as tested and deployed.
 func (h *History) Add(r TrialResult) {
 	h.trials = append(h.trials, r)
 	h.tested[r.Config.ID] = true
+	delete(h.quarantined, r.Config.ID)
 	cfg := r.Config.Clone()
 	h.deployed = &cfg
 }
@@ -207,6 +251,41 @@ func (h *History) Len() int { return len(h.trials) }
 
 // Tested reports whether the configuration with the given ID was profiled.
 func (h *History) Tested(configID int) bool { return h.tested[configID] }
+
+// MarkQuarantined excludes a configuration from future candidate sets after it
+// exhausted its retry attempts. Quarantining a tested configuration is a
+// no-op: its measurement is already in the training set.
+func (h *History) MarkQuarantined(configID int) {
+	if h.tested[configID] {
+		return
+	}
+	h.quarantined[configID] = true
+}
+
+// Quarantined reports whether the configuration was quarantined.
+func (h *History) Quarantined(configID int) bool { return h.quarantined[configID] }
+
+// QuarantinedIDs returns the quarantined configuration IDs in increasing
+// order.
+func (h *History) QuarantinedIDs() []int {
+	out := make([]int, 0, len(h.quarantined))
+	for id := range h.quarantined {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Excluded reports whether the configuration is out of consideration for
+// future trials: already profiled or quarantined. This — not Tested — is the
+// predicate candidate searches must filter on.
+func (h *History) Excluded(configID int) bool {
+	return h.tested[configID] || h.quarantined[configID]
+}
+
+// ExcludedCount returns the number of excluded configurations. The tested and
+// quarantined sets are disjoint by construction, so this is their sum.
+func (h *History) ExcludedCount() int { return len(h.tested) + len(h.quarantined) }
 
 // Deployed returns the configuration currently deployed (χ), or nil when no
 // configuration has been deployed yet.
@@ -294,14 +373,14 @@ func (h *History) CheapestTried() (TrialResult, bool) {
 	return best, found
 }
 
-// UntestedIDs returns the IDs of the configurations of the space that have
-// not been profiled yet, in increasing order (the set T of Algorithm 1). It
-// never materializes configurations, so it is the untested view to use on
-// streaming spaces.
+// UntestedIDs returns the IDs of the configurations of the space that remain
+// candidates for profiling — neither tested nor quarantined — in increasing
+// order (the set T of Algorithm 1). It never materializes configurations, so
+// it is the untested view to use on streaming spaces.
 func (h *History) UntestedIDs(space *configspace.Space) []int {
-	out := make([]int, 0, space.Size()-len(h.tested))
+	out := make([]int, 0, space.Size()-h.ExcludedCount())
 	for id := 0; id < space.Size(); id++ {
-		if !h.tested[id] {
+		if !h.Excluded(id) {
 			out = append(out, id)
 		}
 	}

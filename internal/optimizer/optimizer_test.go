@@ -313,13 +313,13 @@ func TestRunTrialAndBootstrap(t *testing.T) {
 	}
 
 	rng := rand.New(rand.NewSource(1))
-	if err := Bootstrap(env, 3, rng, h, budget, nil); err != nil {
+	if err := Bootstrap(env, 3, rng, h, budget, Options{}); err != nil {
 		t.Fatalf("Bootstrap error: %v", err)
 	}
 	if h.Len() != 4 {
 		t.Errorf("history length after bootstrap = %d, want 4", h.Len())
 	}
-	if err := Bootstrap(env, 0, rng, h, budget, nil); err == nil {
+	if err := Bootstrap(env, 0, rng, h, budget, Options{}); err == nil {
 		t.Error("bootstrap with zero size should error")
 	}
 }
@@ -332,7 +332,7 @@ func TestBuildResult(t *testing.T) {
 		t.Fatalf("NewBudget error: %v", err)
 	}
 	rng := rand.New(rand.NewSource(2))
-	if err := Bootstrap(env, 3, rng, h, budget, nil); err != nil {
+	if err := Bootstrap(env, 3, rng, h, budget, Options{}); err != nil {
 		t.Fatalf("Bootstrap error: %v", err)
 	}
 	opts := Options{Budget: 5, MaxRuntimeSeconds: 2000}

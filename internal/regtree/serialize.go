@@ -1,0 +1,103 @@
+package regtree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// NodeState is the serializable form of one flattened tree node. Left < 0
+// marks a leaf carrying Value; internal nodes carry the split and the indices
+// of their children within the node slice.
+type NodeState struct {
+	Feature   int32   `json:"feature"`
+	Threshold float64 `json:"threshold"`
+	Left      int32   `json:"left"`
+	Right     int32   `json:"right"`
+	Value     float64 `json:"value"`
+}
+
+// TreeState is the serializable fitted state of a Tree: the flattened node
+// array plus its summary counters. It captures everything predictions need;
+// the retained incremental-training state (TrainIncremental) is deliberately
+// not serialized, so a restored tree predicts identically but cannot absorb
+// further online updates.
+type TreeState struct {
+	Nodes       []NodeState `json:"nodes"`
+	NumFeatures int         `json:"num_features"`
+	Leaves      int         `json:"leaves"`
+	Depth       int         `json:"depth"`
+}
+
+// State extracts the serializable fitted state of the tree.
+func (t *Tree) State() (TreeState, error) {
+	if len(t.nodes) == 0 {
+		return TreeState{}, errors.New("regtree: cannot serialize an untrained tree")
+	}
+	nodes := make([]NodeState, len(t.nodes))
+	for i, n := range t.nodes {
+		nodes[i] = NodeState{
+			Feature:   n.feature,
+			Threshold: n.threshold,
+			Left:      n.left,
+			Right:     n.right,
+			Value:     n.value,
+		}
+	}
+	return TreeState{
+		Nodes:       nodes,
+		NumFeatures: t.numFeatures,
+		Leaves:      t.leaves,
+		Depth:       t.depth,
+	}, nil
+}
+
+// FromState reconstructs a prediction-ready tree from serialized state,
+// validating the node graph so a corrupted snapshot cannot send
+// PredictUnchecked out of bounds.
+func FromState(s TreeState) (*Tree, error) {
+	if len(s.Nodes) == 0 {
+		return nil, errors.New("regtree: tree state has no nodes")
+	}
+	if s.NumFeatures < 1 {
+		return nil, fmt.Errorf("regtree: tree state has %d features", s.NumFeatures)
+	}
+	n := int32(len(s.Nodes))
+	nodes := make([]flatNode, len(s.Nodes))
+	for i, ns := range s.Nodes {
+		if ns.Left < 0 {
+			// Leaf: only the value matters.
+			if math.IsNaN(ns.Value) || math.IsInf(ns.Value, 0) {
+				return nil, fmt.Errorf("regtree: leaf %d has non-finite value %v", i, ns.Value)
+			}
+			nodes[i] = flatNode{value: ns.Value, left: -1}
+			continue
+		}
+		if ns.Left >= n || ns.Right < 0 || ns.Right >= n {
+			return nil, fmt.Errorf("regtree: node %d has child indices (%d, %d) outside [0, %d)", i, ns.Left, ns.Right, n)
+		}
+		if int(ns.Left) <= i || int(ns.Right) <= i {
+			// The flattened layout is preorder: children always follow their
+			// parent, which also rules out traversal cycles.
+			return nil, fmt.Errorf("regtree: node %d has non-preorder child indices (%d, %d)", i, ns.Left, ns.Right)
+		}
+		if ns.Feature < 0 || int(ns.Feature) >= s.NumFeatures {
+			return nil, fmt.Errorf("regtree: node %d splits on feature %d of %d", i, ns.Feature, s.NumFeatures)
+		}
+		if math.IsNaN(ns.Threshold) {
+			return nil, fmt.Errorf("regtree: node %d has NaN threshold", i)
+		}
+		nodes[i] = flatNode{
+			feature:   ns.Feature,
+			threshold: ns.Threshold,
+			left:      ns.Left,
+			right:     ns.Right,
+		}
+	}
+	return &Tree{
+		nodes:       nodes,
+		numFeatures: s.NumFeatures,
+		leaves:      s.Leaves,
+		depth:       s.Depth,
+	}, nil
+}

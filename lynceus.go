@@ -201,6 +201,12 @@ func (c SearchConfig) searchStrategy() (core.SearchStrategy, error) {
 
 // NewTuner creates a Lynceus tuner.
 func NewTuner(cfg TunerConfig) (Optimizer, error) {
+	return newCoreTuner(cfg)
+}
+
+// newCoreTuner builds the concrete core optimizer behind NewTuner; the
+// campaign API (StartTuner / ResumeTuner) needs the concrete type.
+func newCoreTuner(cfg TunerConfig) (*core.Lynceus, error) {
 	lookahead := cfg.Lookahead
 	if lookahead == 0 && !cfg.Myopic {
 		lookahead = core.DefaultLookahead

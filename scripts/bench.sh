@@ -14,7 +14,9 @@
 # ensemble fit+full-space-sweep microbenchmark, the large-space planner
 # (sampled strategy over 15k-246k-point streaming spaces), and the stochastic
 # serving-cluster campaign (LA=2 incremental on the simulated LLM inference
-# cluster). Every benchmark
+# cluster), and the checkpointing path (snapshot serialization and
+# campaign restore, which fault-tolerant campaigns pay every trial). Every
+# benchmark
 # runs BENCH_COUNT times (default 3) and benchjson records the per-metric
 # MEDIAN — a single planner iteration is too noisy to detect real
 # regressions, and the medians (together with allocs/op on the planner
@@ -26,7 +28,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH.json}"
-PATTERN="${BENCH_PATTERN:-BenchmarkPlannerLA2Tensorflow|BenchmarkPlannerLA3Tensorflow|BenchmarkEnsembleFitPredict|BenchmarkFullSpaceSweep|BenchmarkLargeSpaceDecision|BenchmarkServesimDecision}"
+PATTERN="${BENCH_PATTERN:-BenchmarkPlannerLA2Tensorflow|BenchmarkPlannerLA3Tensorflow|BenchmarkEnsembleFitPredict|BenchmarkFullSpaceSweep|BenchmarkLargeSpaceDecision|BenchmarkServesimDecision|BenchmarkSnapshotRestore}"
 BENCHTIME="${BENCH_TIME:-1s}"
 COUNT="${BENCH_COUNT:-3}"
 

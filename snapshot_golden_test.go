@@ -1,0 +1,153 @@
+package lynceus
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// snapshotFixtureCampaign reproduces the golden scout72-la1 campaign and
+// returns its completed tuner.
+func snapshotFixtureCampaign(t *testing.T) *Tuner {
+	t.Helper()
+	cfg := TunerConfig{Lookahead: 1}
+	_, env, opts := campaignCase(t, "scout-0", cfg, 4, 7)
+	tuner, err := StartTuner(cfg, env, opts)
+	if err != nil {
+		t.Fatalf("StartTuner: %v", err)
+	}
+	for {
+		done, err := tuner.Step()
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		if done {
+			return tuner
+		}
+	}
+}
+
+// TestSnapshotGoldenFixture pins the version-1 snapshot wire format: the
+// serialized bytes of the golden scout72-la1 campaign must match the
+// committed fixture byte for byte, and a build must keep resuming the
+// committed fixture to the recommendation pinned by the golden campaign
+// file. Regenerate with -update-golden only on a deliberate format change —
+// and bump SnapshotVersion when doing so.
+func TestSnapshotGoldenFixture(t *testing.T) {
+	tuner := snapshotFixtureCampaign(t)
+	snap, err := tuner.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+
+	path := filepath.Join("testdata", "golden_snapshot_v1.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, snap, 0o644); err != nil {
+			t.Fatalf("writing fixture: %v", err)
+		}
+		return
+	}
+	fixture, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading fixture (re-run with -update-golden to regenerate): %v", err)
+	}
+	if !bytes.Equal(snap, fixture) {
+		t.Fatalf("snapshot bytes diverged from the committed v%d fixture (%d vs %d bytes); "+
+			"if the format change is deliberate, bump SnapshotVersion and regenerate with -update-golden",
+			core.SnapshotVersion, len(snap), len(fixture))
+	}
+
+	// The committed fixture must resume and report the recommendation pinned
+	// by the golden campaign file.
+	var want struct {
+		Trials      []int `json:"trials"`
+		Recommended int   `json:"recommended"`
+	}
+	goldenData, err := os.ReadFile(filepath.Join("testdata", "golden_scout72-la1.json"))
+	if err != nil {
+		t.Fatalf("reading golden campaign: %v", err)
+	}
+	if err := json.Unmarshal(goldenData, &want); err != nil {
+		t.Fatalf("parsing golden campaign: %v", err)
+	}
+	cfg := TunerConfig{Lookahead: 1}
+	_, env, _ := campaignCase(t, "scout-0", cfg, 4, 7)
+	resumed, err := ResumeTuner(cfg, env, fixture)
+	if err != nil {
+		t.Fatalf("ResumeTuner from fixture: %v", err)
+	}
+	if !resumed.Done() || !errors.Is(resumed.FinishReason(), ErrBudgetExhausted) {
+		t.Fatalf("resumed fixture campaign done=%v reason=%v, want done on budget", resumed.Done(), resumed.FinishReason())
+	}
+	got := traceOf(t, resumed)
+	if len(got.trials) != len(want.Trials) || got.recommended != want.Recommended {
+		t.Fatalf("fixture resumed to %d trials rec %d, golden pins %d trials rec %d",
+			len(got.trials), got.recommended, len(want.Trials), want.Recommended)
+	}
+	for i := range got.trials {
+		if got.trials[i] != want.Trials[i] {
+			t.Fatalf("fixture trial %d is config %d, golden %d", i, got.trials[i], want.Trials[i])
+		}
+	}
+}
+
+// TestSnapshotRejectsFutureVersions guards the format-versioning contract: a
+// snapshot from a newer format must fail loudly, not resume from
+// misinterpreted state.
+func TestSnapshotRejectsFutureVersions(t *testing.T) {
+	tuner := snapshotFixtureCampaign(t)
+	snap, err := tuner.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(snap, &raw); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	raw["version"] = json.RawMessage("999")
+	future, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	cfg := TunerConfig{Lookahead: 1}
+	_, env, _ := campaignCase(t, "scout-0", cfg, 4, 7)
+	if _, err := ResumeTuner(cfg, env, future); err == nil {
+		t.Error("future snapshot version accepted by ResumeTuner")
+	}
+	if _, err := core.SnapshotEnsemble(future); err == nil {
+		t.Error("future snapshot version accepted by SnapshotEnsemble")
+	}
+}
+
+// TestSnapshotEnsembleWarmStart checks that snapshots embed a usable fitted
+// cost model: the ensemble the next decision's planner would consult,
+// reconstructable for inspection or warm-starting.
+func TestSnapshotEnsembleWarmStart(t *testing.T) {
+	tuner := snapshotFixtureCampaign(t)
+	snap, err := tuner.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	ens, err := core.SnapshotEnsemble(snap)
+	if err != nil {
+		t.Fatalf("SnapshotEnsemble: %v", err)
+	}
+	if !ens.Trained() {
+		t.Fatal("embedded ensemble not trained")
+	}
+	for _, trial := range tuner.Trials() {
+		pred, err := ens.Predict(trial.Config.Features)
+		if err != nil {
+			t.Fatalf("Predict: %v", err)
+		}
+		if math.IsNaN(pred.Mean) || math.IsInf(pred.Mean, 0) || pred.Mean <= 0 {
+			t.Fatalf("embedded ensemble predicts %v for a profiled config", pred.Mean)
+		}
+	}
+}
