@@ -357,6 +357,16 @@ func BenchmarkEnsembleFitPredict(b *testing.B) {
 // BenchmarkFullSpaceSweep isolates the prediction sweep from the fit: one
 // prediction of the whole 384-point Tensorflow space per iteration, batched
 // (the planner's production path) vs scalar (one Predict call per config).
+//
+// Comparison note: since the packed-node rewrite the two sub-benchmarks run
+// the same traversal kernel and differ only in where the feature rows come
+// from — /scalar reads the space's pre-materialized Config rows, /batch
+// gathers each row from the column-major matrix (the planner's layout) on
+// the fly. Near-parity is the expected result; earlier a stale block-gather
+// design plus store-to-load aliasing on a single reused gather row had
+// /batch at ~1.25x /scalar, which the rotating-row gather in
+// bagging.PredictBatch fixed. TestFullSpaceSweepBatchCompetitive (batch_test.go)
+// asserts the ratio stays sane on the bench runner.
 func BenchmarkFullSpaceSweep(b *testing.B) {
 	space, features, costs := ensembleSweepFixture(b)
 	ensemble := bagging.New(bagging.Params{NumTrees: 10}, 1)
@@ -384,6 +394,37 @@ func BenchmarkFullSpaceSweep(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkEnsembleRefitIncremental measures the incremental-refit unit the
+// lookahead simulation leans on: cloning a warm fitted ensemble into a
+// reusable destination and folding one speculated sample in with Update.
+// This is the per-outcome cost of Strategy "incremental" (vs a full Fit per
+// outcome), so it belongs in the tracked bench set next to EnsembleFitPredict.
+func BenchmarkEnsembleRefitIncremental(b *testing.B) {
+	space, features, costs := ensembleSweepFixture(b)
+	ensemble := bagging.New(bagging.Params{NumTrees: 10, Incremental: true}, 1)
+	if err := ensemble.Fit(features, costs); err != nil {
+		b.Fatalf("Fit: %v", err)
+	}
+	cfg, err := space.Config(space.Size() / 2)
+	if err != nil {
+		b.Fatalf("Config: %v", err)
+	}
+	clone := bagging.New(bagging.Params{NumTrees: 10, Incremental: true}, 2)
+	if err := ensemble.CloneInto(clone); err != nil {
+		b.Fatalf("CloneInto: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ensemble.CloneInto(clone); err != nil {
+			b.Fatalf("CloneInto: %v", err)
+		}
+		if err := clone.Update(cfg.Features, costs[0]); err != nil {
+			b.Fatalf("Update: %v", err)
+		}
+	}
 }
 
 // BenchmarkEnsembleFitPredictScalar is the scalar reference for

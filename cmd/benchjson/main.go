@@ -16,13 +16,24 @@
 // the noisy single-run planner numbers comparable across PRs.
 //
 // With -compare, benchjson instead reads two reports and exits non-zero when
-// a tracked metric regressed by more than -threshold percent: "ns/decision"
-// and "allocs/op" on every planner benchmark (any benchmark reporting
-// ns/decision), and "ns/op" on the BenchmarkEnsembleFitPredict cost-model
-// microbenchmarks. Each comparison line records the iteration counts (b.N)
-// the two sides were averaged over, so a gate verdict based on too few
-// iterations is visible at a glance. Benchmarks present in only one report
-// are skipped, so adding or retiring benchmarks never trips the gate.
+// a tracked metric regressed by more than -threshold percent: "ns/decision",
+// "allocs/op" and "B/op" on every planner benchmark (any benchmark reporting
+// ns/decision), and "ns/op", "allocs/op" and "B/op" on the
+// BenchmarkEnsembleFitPredict / BenchmarkEnsembleRefitIncremental cost-model
+// microbenchmarks. A zero baseline for the allocation metrics acts as a
+// ratchet: any fresh allocation on a path the baseline records as
+// allocation-free is a regression regardless of the percent threshold. Each
+// comparison line records the iteration counts (b.N) the two sides were
+// averaged over, so a gate verdict based on too few iterations is visible at
+// a glance. Benchmarks present in only one report are skipped, so adding or
+// retiring benchmarks never trips the gate.
+//
+// Reports are tagged with the GOMAXPROCS the benchmarks ran under (parsed
+// from the "-N" name suffix go test appends when GOMAXPROCS > 1) and the
+// machine's core count, so a multi-core BENCH file is distinguishable from
+// the single-core baseline at a glance; benchmark names are normalized with
+// the suffix stripped so the same benchmark matches across reports recorded
+// at different parallelism.
 package main
 
 import (
@@ -31,6 +42,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -57,9 +70,15 @@ type Benchmark struct {
 
 // Report is the top-level JSON document.
 type Report struct {
-	Goos       string      `json:"goos,omitempty"`
-	Goarch     string      `json:"goarch,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Gomaxprocs is the GOMAXPROCS the benchmarks ran under, parsed from
+	// the "-N" suffix go test appends to benchmark names (1 when absent).
+	Gomaxprocs int `json:"gomaxprocs,omitempty"`
+	// Cores is the logical core count of the machine benchjson converted the
+	// results on (bench.sh runs the conversion on the bench machine).
+	Cores      int         `json:"cores,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
@@ -164,21 +183,31 @@ func median(values []float64) float64 {
 }
 
 // trackedMetrics returns the regression-gated metric units of a benchmark:
-// per-decision planning time and allocations per op on every planner
-// benchmark (identified by reporting ns/decision — the planner hot path is
-// where allocation creep turns into GC pauses mid-decision), and raw ns/op
-// for the cost-model fit+sweep microbenchmarks.
+// per-decision planning time plus allocation count and bytes per op on every
+// planner benchmark (identified by reporting ns/decision — the planner hot
+// path is where allocation creep turns into GC pauses mid-decision; gating
+// B/op alongside allocs/op catches a path that allocates the same number of
+// ever-fatter buffers), and raw ns/op plus the same allocation metrics for
+// the cost-model fit/sweep/refit microbenchmarks.
 func trackedMetrics(b Benchmark) []string {
-	units := make([]string, 0, 3)
+	units := make([]string, 0, 4)
+	tracked := false
 	if _, ok := b.Metrics["ns/decision"]; ok {
 		units = append(units, "ns/decision")
-		if _, ok := b.Metrics["allocs/op"]; ok {
-			units = append(units, "allocs/op")
-		}
+		tracked = true
 	}
-	if strings.HasPrefix(b.Name, "BenchmarkEnsembleFitPredict") {
+	if strings.HasPrefix(b.Name, "BenchmarkEnsembleFitPredict") ||
+		strings.HasPrefix(b.Name, "BenchmarkEnsembleRefitIncremental") {
 		if _, ok := b.Metrics["ns/op"]; ok {
 			units = append(units, "ns/op")
+		}
+		tracked = true
+	}
+	if tracked {
+		for _, unit := range []string{"allocs/op", "B/op"} {
+			if _, ok := b.Metrics[unit]; ok {
+				units = append(units, unit)
+			}
 		}
 	}
 	return units
@@ -207,6 +236,17 @@ func compareReports(basePath, freshPath string, threshold float64) error {
 	for _, b := range base.Benchmarks {
 		baseline[key(b)] = b
 	}
+	baseProcs, freshProcs := base.Gomaxprocs, fresh.Gomaxprocs
+	if baseProcs == 0 {
+		baseProcs = 1
+	}
+	if freshProcs == 0 {
+		freshProcs = 1
+	}
+	if baseProcs != freshProcs {
+		fmt.Printf("note: comparing GOMAXPROCS=%d fresh results against a GOMAXPROCS=%d baseline\n",
+			freshProcs, baseProcs)
+	}
 	regressions := 0
 	for _, b := range fresh.Benchmarks {
 		ref, ok := baseline[key(b)]
@@ -215,7 +255,23 @@ func compareReports(basePath, freshPath string, threshold float64) error {
 		}
 		for _, unit := range trackedMetrics(b) {
 			refValue, ok := ref.Metrics[unit]
-			if !ok || refValue <= 0 {
+			if !ok {
+				continue
+			}
+			if refValue <= 0 {
+				// Time metrics with a zero baseline carry no signal, but a
+				// zero allocation baseline is a ratchet: the path is recorded
+				// as allocation-free, and any fresh allocation regresses it.
+				if unit != "allocs/op" && unit != "B/op" {
+					continue
+				}
+				status := "ok"
+				if b.Metrics[unit] > 0 {
+					status = "REGRESSION"
+					regressions++
+				}
+				fmt.Printf("%-60s %-12s %14.0f -> %14.0f  ratchet  %s  (iters %d -> %d)\n",
+					b.Name, unit, refValue, b.Metrics[unit], status, ref.Iterations, b.Iterations)
 				continue
 			}
 			slowdown := (b.Metrics[unit]/refValue - 1) * 100
@@ -238,12 +294,18 @@ func compareReports(basePath, freshPath string, threshold float64) error {
 	return nil
 }
 
+// procsSuffix matches the "-N" GOMAXPROCS suffix go test appends to
+// benchmark names when GOMAXPROCS > 1.
+var procsSuffix = regexp.MustCompile(`-(\d+)$`)
+
 // parse scans `go test -bench` output: context lines (goos:, goarch:, pkg:,
 // cpu:) set the current environment, and lines starting with "Benchmark"
 // followed by an iteration count and (value, unit) pairs become records.
-// Everything else (PASS, ok, test logs) is ignored.
+// Everything else (PASS, ok, test logs) is ignored. GOMAXPROCS name suffixes
+// are stripped into the report-level Gomaxprocs tag so the same benchmark
+// keys identically across single- and multi-core reports.
 func parse(sc *bufio.Scanner) (*Report, error) {
-	report := &Report{Benchmarks: []Benchmark{}}
+	report := &Report{Benchmarks: []Benchmark{}, Gomaxprocs: 1, Cores: runtime.NumCPU()}
 	pkg := ""
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -273,8 +335,15 @@ func parse(sc *bufio.Scanner) (*Report, error) {
 		if err != nil {
 			continue
 		}
+		name := fields[0]
+		if m := procsSuffix.FindStringSubmatch(name); m != nil {
+			if procs, err := strconv.Atoi(m[1]); err == nil && procs > 1 {
+				name = strings.TrimSuffix(name, m[0])
+				report.Gomaxprocs = procs
+			}
+		}
 		b := Benchmark{
-			Name:       fields[0],
+			Name:       name,
 			Pkg:        pkg,
 			Iterations: iterations,
 			Metrics:    make(map[string]float64, (len(fields)-2)/2),

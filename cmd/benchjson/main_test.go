@@ -119,10 +119,10 @@ func TestCompareReportsFlagsTrackedRegressions(t *testing.T) {
 }
 
 // TestCompareReportsGatesPlannerAllocations pins the allocation gate: on
-// planner benchmarks (those reporting ns/decision), allocs/op is a tracked
-// metric and a >threshold growth fails the comparison even when the timing
-// stayed flat. Non-planner benchmarks remain exempt — their allocation
-// counts are not gated.
+// planner benchmarks (those reporting ns/decision) and the tracked
+// cost-model microbenchmarks, allocs/op and B/op are tracked metrics and a
+// >threshold growth fails the comparison even when the timing stayed flat.
+// Other benchmarks remain exempt — their allocation counts are not gated.
 func TestCompareReportsGatesPlannerAllocations(t *testing.T) {
 	dir := t.TempDir()
 	write := func(name, content string) string {
@@ -137,10 +137,10 @@ func TestCompareReportsGatesPlannerAllocations(t *testing.T) {
 		{"name": "BenchmarkFullSpaceSweep/batch", "iterations": 100, "metrics": {"ns/op": 100, "allocs/op": 10}}
 	]}`)
 
-	// Flat timing, allocation growth within threshold, non-planner
+	// Flat timing, allocation growth within threshold, untracked-benchmark
 	// allocation blowup ignored: must pass.
 	pass := write("pass.json", `{"benchmarks": [
-		{"name": "BenchmarkPlannerLA3Tensorflow/workers=8", "iterations": 6, "metrics": {"ns/decision": 101, "allocs/op": 1100, "B/op": 90000}},
+		{"name": "BenchmarkPlannerLA3Tensorflow/workers=8", "iterations": 6, "metrics": {"ns/decision": 101, "allocs/op": 1100, "B/op": 55000}},
 		{"name": "BenchmarkFullSpaceSweep/batch", "iterations": 100, "metrics": {"ns/op": 100, "allocs/op": 500}}
 	]}`)
 	if err := compareReports(base, pass, 20); err != nil {
@@ -153,6 +153,71 @@ func TestCompareReportsGatesPlannerAllocations(t *testing.T) {
 	]}`)
 	if err := compareReports(base, leaky, 20); err == nil {
 		t.Fatal("compareReports passed a >20%% allocs/op regression on a planner benchmark")
+	}
+
+	// Flat timing and flat allocation count but >20% B/op growth: fail.
+	fat := write("fat.json", `{"benchmarks": [
+		{"name": "BenchmarkPlannerLA3Tensorflow/workers=8", "iterations": 6, "metrics": {"ns/decision": 100, "allocs/op": 1000, "B/op": 70000}}
+	]}`)
+	if err := compareReports(base, fat, 20); err == nil {
+		t.Fatal("compareReports passed a >20%% B/op regression on a planner benchmark")
+	}
+}
+
+// TestCompareReportsRatchetsZeroAllocationBaselines pins the ratchet: once
+// the baseline records a tracked benchmark as allocation-free, any fresh
+// allocation fails the gate regardless of the percent threshold (a percent
+// of zero is meaningless), while staying at zero passes.
+func TestCompareReportsRatchetsZeroAllocationBaselines(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := dir + "/" + name
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatalf("writing %s: %v", name, err)
+		}
+		return path
+	}
+	base := write("base.json", `{"benchmarks": [
+		{"name": "BenchmarkEnsembleFitPredict", "iterations": 100, "metrics": {"ns/op": 100, "allocs/op": 0, "B/op": 9}}
+	]}`)
+	clean := write("clean.json", `{"benchmarks": [
+		{"name": "BenchmarkEnsembleFitPredict", "iterations": 100, "metrics": {"ns/op": 105, "allocs/op": 0, "B/op": 9}}
+	]}`)
+	if err := compareReports(base, clean, 20); err != nil {
+		t.Fatalf("compareReports flagged an allocation-free run: %v", err)
+	}
+	dirty := write("dirty.json", `{"benchmarks": [
+		{"name": "BenchmarkEnsembleFitPredict", "iterations": 100, "metrics": {"ns/op": 100, "allocs/op": 3, "B/op": 9}}
+	]}`)
+	if err := compareReports(base, dirty, 1000); err == nil {
+		t.Fatal("compareReports passed allocations on a zero-alloc baseline")
+	}
+}
+
+// TestParseStripsGomaxprocsSuffix checks that the "-N" suffix go test
+// appends under GOMAXPROCS > 1 is normalized off the benchmark name and
+// surfaced as the report-level tag, so multi-core reports key identically to
+// the single-core baseline.
+func TestParseStripsGomaxprocsSuffix(t *testing.T) {
+	input := `pkg: repro
+BenchmarkPlannerLA2Tensorflow/refit=full/workers=4-8 	       3	5731596844 ns/op
+BenchmarkEnsembleFitPredict-8                     	       3	    360295 ns/op
+`
+	report, err := parse(bufio.NewScanner(strings.NewReader(input)))
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	if report.Gomaxprocs != 8 {
+		t.Errorf("Gomaxprocs = %d, want 8", report.Gomaxprocs)
+	}
+	if report.Cores < 1 {
+		t.Errorf("Cores = %d, want >= 1", report.Cores)
+	}
+	want := []string{"BenchmarkPlannerLA2Tensorflow/refit=full/workers=4", "BenchmarkEnsembleFitPredict"}
+	for i, b := range report.Benchmarks {
+		if b.Name != want[i] {
+			t.Errorf("benchmark %d name = %q, want %q", i, b.Name, want[i])
+		}
 	}
 }
 

@@ -74,17 +74,42 @@ type Ensemble struct {
 	// no update happened since the last Fit.
 	lastAffected []int32
 
-	// Resample buffers reused across fits. Lynceus' path simulation refits
-	// the same ensemble once per speculated outcome, so per-fit allocations
-	// sit directly on the planner's hot path. Trained trees never retain the
-	// buffers (they only store split thresholds and leaf means), which makes
-	// the reuse safe.
+	// Resample buffers and the training arena, reused across fits. Lynceus'
+	// path simulation refits the same ensemble once per speculated outcome,
+	// so per-fit allocations sit directly on the planner's hot path: the
+	// trees are trained in place through one arena (split scratch, transposed
+	// sample matrix, index permutation), and the tree objects themselves are
+	// recycled, so a steady-state refit allocates nothing. Trained trees
+	// never retain arena memory, which makes the reuse safe.
 	subFeatures [][]float64
 	subTargets  []float64
+	arena       *regtree.Arena
 
-	// pathBuf is reused by AffectedByLastUpdateBatch's per-tree path
-	// extraction.
+	// Scratch reused by the affected-point sweeps: the per-tree path buffer,
+	// the per-point marks, the shrinking per-step worklist, and the id list
+	// backing AffectedByLastUpdateBatch.
 	pathBuf []regtree.PathStep
+	markBuf []bool
+	wlBuf   []int32
+	idsBuf  []int32
+
+	// Memo-repair state (PredictBatchRepair / AppendRepairedByLastUpdate):
+	// repairPreds is a tree-major matrix — repairPreds[t*repairN+i] is tree
+	// t's prediction for point i of the last repair-prefilled sweep — that
+	// turns post-Update repair into per-tree constant stores instead of
+	// full ensemble re-walks. repairLeaf is the matching leaf-index matrix:
+	// because an Update's affected node was the covering leaf before the
+	// insert, the points it moved in tree t are exactly those with
+	// repairLeaf[t*repairN+i] == affected — one sequential equality scan,
+	// no root-path re-filtering. repairN is the swept point count (0 = no
+	// valid state); repairDirty records that exactly one Update has been
+	// applied since the matrices were last consistent. rowScratch is one
+	// gathered feature row for the re-split repair walk.
+	repairPreds []float64
+	repairLeaf  []int32
+	repairN     int
+	repairDirty bool
+	rowScratch  []float64
 }
 
 // New creates an untrained ensemble. All randomness (bootstrap resampling and
@@ -120,29 +145,46 @@ func (e *Ensemble) Fit(features [][]float64, targets []float64) error {
 	subFeatures := e.subFeatures[:sampleSize]
 	subTargets := e.subTargets[:sampleSize]
 
-	trees := make([]*regtree.Tree, 0, e.params.NumTrees)
+	// Train into recycled tree objects through the shared arena: the rng
+	// stream and the induction are identical to a from-scratch fit, so the
+	// fitted trees are bitwise the same — only the allocations disappear. A
+	// mid-loop training error (malformed rows or non-finite targets in the
+	// drawn subsample) leaves the ensemble partially refitted; no caller
+	// continues using an ensemble whose Fit failed.
+	if e.arena == nil {
+		e.arena = regtree.NewArena()
+	}
+	if cap(e.trees) < e.params.NumTrees {
+		trees := make([]*regtree.Tree, e.params.NumTrees)
+		copy(trees, e.trees)
+		e.trees = trees[:len(e.trees)]
+	}
+	trees := e.trees[:e.params.NumTrees]
 	for i := 0; i < e.params.NumTrees; i++ {
 		for j := 0; j < sampleSize; j++ {
 			idx := e.rng.Intn(n)
 			subFeatures[j] = features[idx]
 			subTargets[j] = targets[idx]
 		}
-		var tree *regtree.Tree
+		if trees[i] == nil {
+			trees[i] = &regtree.Tree{}
+		}
 		var err error
 		if e.params.Incremental {
-			tree, err = regtree.TrainIncremental(subFeatures, subTargets, e.params.Tree, e.rng)
+			err = e.arena.TrainIncremental(trees[i], subFeatures, subTargets, e.params.Tree, e.rng)
 		} else {
-			tree, err = regtree.Train(subFeatures, subTargets, e.params.Tree, e.rng)
+			err = e.arena.Train(trees[i], subFeatures, subTargets, e.params.Tree, e.rng)
 		}
 		if err != nil {
 			return fmt.Errorf("bagging: training tree %d: %w", i, err)
 		}
-		trees = append(trees, tree)
 	}
 	e.trees = trees
 	e.numFeatures = len(features[0])
 	e.updates = 0
 	e.lastAffected = e.lastAffected[:0]
+	e.repairN = 0
+	e.repairDirty = false
 	return nil
 }
 
@@ -165,33 +207,39 @@ func (e *Ensemble) Predict(x []float64) (numeric.Gaussian, error) {
 	if len(x) != e.numFeatures {
 		return numeric.Gaussian{}, fmt.Errorf("bagging: feature vector has %d columns, want %d", len(x), e.numFeatures)
 	}
-	sum, sumSq := 0.0, 0.0
-	for _, tree := range e.trees {
+	sum, sumSq := accumRow(e.trees, x)
+	return e.gaussianFromSums(sum, sumSq), nil
+}
+
+// accumRow walks one feature row through every tree and returns the sum and
+// sum of squares of the tree predictions. Predict and PredictBatch share it,
+// which keeps the two paths bitwise identical — and keeps the hot traversal
+// in a small frame of its own, where the tree walk inlines without competing
+// for registers with the callers' sweep bookkeeping (inlining it into the
+// batch loop measurably slowed the walk down).
+func accumRow(trees []*regtree.Tree, x []float64) (sum, sumSq float64) {
+	for _, tree := range trees {
 		p := tree.PredictUnchecked(x)
 		sum += p
 		sumSq += p * p
 	}
-	return e.gaussianFromSums(sum, sumSq), nil
+	return sum, sumSq
 }
 
 // PredictBatch predicts every point of a column-major feature matrix
 // (cols[f][i] is feature f of point i), writing the predictive distribution
 // of point i to out[i]. Inputs are validated once for the whole sweep and
-// nothing is allocated per point: each point's features are gathered into
-// one reused row and the per-point sum and sum of squares accumulate in
-// registers. The trees are visited in the same order as Predict, so the
-// emitted Gaussians are bitwise identical to the scalar path — this is what
-// lets the planner switch its full-space sweeps to the batch path without
-// changing any recommendation.
+// nothing is allocated per point: each point is gathered from the columns
+// into a stack row once and that row is shared by every tree of the
+// ensemble (accumRow), so the sweep pays one gather per point instead of
+// one validated call per point. Within one point the trees accumulate in
+// the same order as Predict, so the emitted Gaussians are bitwise identical
+// to the scalar path and the planner can batch its sweeps without changing
+// any recommendation.
 //
-// (A tree-major variant — each tree traversed over the whole batch — and a
-// direct column-walk variant were both measured slower here: the trees are
-// small enough to stay cache-resident, so the extra accumulation passes and
-// the per-node two-level column indexing cost more than they save.)
-//
-// The gathered row lives on the caller's stack (up to batchRowStackSize
-// features), so concurrent PredictBatch calls on one fitted ensemble are
-// safe, like Predict.
+// The gathered rows live on the caller's stack (for typical arities), so
+// concurrent PredictBatch calls on one fitted ensemble are safe, like
+// Predict.
 func (e *Ensemble) PredictBatch(cols [][]float64, out []numeric.Gaussian) error {
 	if !e.Trained() {
 		return ErrNotTrained
@@ -205,32 +253,107 @@ func (e *Ensemble) PredictBatch(cols [][]float64, out []numeric.Gaussian) error 
 			return fmt.Errorf("bagging: feature column %d has %d points, want %d", f, len(col), n)
 		}
 	}
-	var rowBuf [batchRowStackSize]float64
-	var row []float64
-	if len(cols) <= len(rowBuf) {
-		row = rowBuf[:len(cols)]
-	} else {
-		row = make([]float64, len(cols))
+	m := e.numFeatures
+	var rowsArr [rowSlots * rowStride]float64
+	rows := rowsArr[:]
+	stride := rowStride
+	if m > rowStride {
+		// Degenerate arities beyond the stack budget fall back to a heap
+		// buffer (one allocation per sweep, not per point).
+		stride = m
+		rows = make([]float64, rowSlots*stride)
 	}
+	trees := e.trees
 	for i := 0; i < n; i++ {
+		// Rotate the gather across rowSlots distinct rows: re-gathering every
+		// point into one fixed row makes each point's stores alias the
+		// previous point's still-speculative walk loads, and the resulting
+		// memory-order stalls measurably serialized the sweep.
+		off := (i % rowSlots) * stride
+		x := rows[off : off+m : off+m]
 		for f, col := range cols {
-			row[f] = col[i]
+			x[f] = col[i]
 		}
-		sum, sumSq := 0.0, 0.0
-		for _, tree := range e.trees {
-			p := tree.PredictUnchecked(row)
-			sum += p
-			sumSq += p * p
-		}
+		sum, sumSq := accumRow(trees, x)
 		out[i] = e.gaussianFromSums(sum, sumSq)
 	}
 	return nil
 }
 
-// batchRowStackSize is the widest feature row PredictBatch gathers on the
-// stack; wider spaces (rare — configuration spaces have a handful of
-// dimensions) fall back to one heap allocation per call.
-const batchRowStackSize = 32
+// rowSlots is the number of gather rows PredictBatch rotates across;
+// rowStride is the per-row stack budget in float64s (wider spaces spill the
+// rotation to one heap buffer per sweep).
+const (
+	rowSlots  = 8
+	rowStride = 16
+)
+
+// PredictBatchRepair is PredictBatch plus memo-repair bookkeeping: alongside
+// each point's Gaussian it records every individual tree's prediction in a
+// tree-major matrix retained on the ensemble, which is what lets
+// AppendRepairedByLastUpdate refresh a one-sample update's affected points
+// without re-walking any unchanged tree. The emitted Gaussians are bitwise
+// identical to PredictBatch (same traversals, same accumulation order);
+// Predict/PredictBatch stay concurrency-safe afterwards, but
+// PredictBatchRepair itself mutates ensemble state and must not run
+// concurrently with anything on the same ensemble.
+func (e *Ensemble) PredictBatchRepair(cols [][]float64, out []numeric.Gaussian) error {
+	if !e.Trained() {
+		return ErrNotTrained
+	}
+	if len(cols) != e.numFeatures {
+		return fmt.Errorf("bagging: feature matrix has %d columns, want %d", len(cols), e.numFeatures)
+	}
+	n := len(out)
+	for f, col := range cols {
+		if len(col) != n {
+			return fmt.Errorf("bagging: feature column %d has %d points, want %d", f, len(col), n)
+		}
+	}
+	m := e.numFeatures
+	var rowsArr [rowSlots * rowStride]float64
+	rows := rowsArr[:]
+	stride := rowStride
+	if m > rowStride {
+		stride = m
+		rows = make([]float64, rowSlots*stride)
+	}
+	trees := e.trees
+	if cap(e.repairPreds) < len(trees)*n {
+		e.repairPreds = make([]float64, len(trees)*n)
+	}
+	if cap(e.repairLeaf) < len(trees)*n {
+		e.repairLeaf = make([]int32, len(trees)*n)
+	}
+	mat := e.repairPreds[:len(trees)*n]
+	leaves := e.repairLeaf[:len(trees)*n]
+	for i := 0; i < n; i++ {
+		off := (i % rowSlots) * stride
+		x := rows[off : off+m : off+m]
+		for f, col := range cols {
+			x[f] = col[i]
+		}
+		sum, sumSq := accumRowStore(trees, x, mat, leaves, n, i)
+		out[i] = e.gaussianFromSums(sum, sumSq)
+	}
+	e.repairN = n
+	e.repairDirty = false
+	return nil
+}
+
+// accumRowStore is accumRow with a per-tree store into the repair matrices
+// (mat[t*n+i] = tree t's prediction, leaves[t*n+i] = the leaf it ended on).
+// Kept as its own small frame for the same codegen reason as accumRow.
+func accumRowStore(trees []*regtree.Tree, x []float64, mat []float64, leaves []int32, n, i int) (sum, sumSq float64) {
+	for t, tree := range trees {
+		p, leaf := tree.PredictLeafFromUnchecked(0, x)
+		mat[t*n+i] = p
+		leaves[t*n+i] = leaf
+		sum += p
+		sumSq += p * p
+	}
+	return sum, sumSq
+}
 
 // gaussianFromSums turns the sum and sum of squares of the tree predictions
 // into the predictive Gaussian. Predict and PredictBatch share it so the two

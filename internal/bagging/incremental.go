@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/numeric"
 	"repro/internal/regtree"
 )
 
@@ -115,6 +116,16 @@ func (e *Ensemble) Update(x []float64, y float64) error {
 		e.lastAffected[ti] = int32(affected)
 	}
 	e.updates = k + 1
+	// The repair matrix describes the pre-update trees; one pending update
+	// is repairable (AppendRepairedByLastUpdate), a second unrepaired one
+	// invalidates the state.
+	if e.repairN > 0 {
+		if e.repairDirty {
+			e.repairN = 0
+		} else {
+			e.repairDirty = true
+		}
+	}
 	return nil
 }
 
@@ -139,18 +150,217 @@ func (e *Ensemble) AffectedByLastUpdate(x []float64) bool {
 	return false
 }
 
+// AppendAffectedByLastUpdate appends (in ascending order) the indices
+// i ∈ [0, n) of a column-major candidate matrix whose prediction the last
+// Update may have changed, and returns the extended slice — the sparse form
+// of AffectedByLastUpdateBatch, which the prediction memo's eager repair
+// consumes directly. After a one-sample update the affected set is tiny, so
+// handing back indices lets the caller re-predict exactly those points in
+// one batched sweep instead of re-scanning a dense flag array.
+//
+// Each updated tree's root-to-affected-node split constraints are applied
+// step-major: the first constraint filters all still-unmarked points into a
+// worklist with one sequential scan of a single column, and every further
+// constraint shrinks the worklist in place. Points far from the updated
+// region (the vast majority) are rejected by the first split without ever
+// touching the remaining constraints' columns.
+//
+// AppendAffectedByLastUpdate reuses scratch on the ensemble, so calls on one
+// ensemble must not run concurrently (Predict and PredictBatch remain
+// concurrency-safe). Columns may be longer than n; only the first n points
+// are swept.
+func (e *Ensemble) AppendAffectedByLastUpdate(cols [][]float64, n int, ids []int32) ([]int32, error) {
+	if !e.Trained() {
+		return ids, ErrNotTrained
+	}
+	if len(cols) != e.numFeatures {
+		return ids, fmt.Errorf("bagging: feature matrix has %d columns, want %d", len(cols), e.numFeatures)
+	}
+	for f, col := range cols {
+		if len(col) < n {
+			return ids, fmt.Errorf("bagging: feature column %d has %d points, want at least %d", f, len(col), n)
+		}
+	}
+	if len(e.lastAffected) == 0 {
+		return ids, nil
+	}
+	if cap(e.markBuf) < n {
+		e.markBuf = make([]bool, n)
+	}
+	mark := e.markBuf[:n]
+	for i := range mark {
+		mark[i] = false
+	}
+	if cap(e.wlBuf) < n {
+		e.wlBuf = make([]int32, n)
+	}
+	for ti, tree := range e.trees {
+		a := e.lastAffected[ti]
+		if a < 0 {
+			continue
+		}
+		steps, ok := tree.AppendPathTo(int(a), e.pathBuf[:0])
+		e.pathBuf = steps[:0]
+		if !ok {
+			return ids, fmt.Errorf("bagging: affected node %d not found in tree %d", a, ti)
+		}
+		if len(steps) == 0 {
+			// The tree's root was re-split: every prediction may have moved.
+			for i := range mark {
+				mark[i] = true
+			}
+			break
+		}
+		s0 := steps[0]
+		col := cols[s0.Feature]
+		wl := e.wlBuf[:0]
+		for i := 0; i < n; i++ {
+			if !mark[i] && (col[i] <= s0.Threshold) == s0.Left {
+				wl = append(wl, int32(i))
+			}
+		}
+		for _, s := range steps[1:] {
+			if len(wl) == 0 {
+				break
+			}
+			col := cols[s.Feature]
+			kept := wl[:0]
+			for _, i := range wl {
+				if (col[i] <= s.Threshold) == s.Left {
+					kept = append(kept, i)
+				}
+			}
+			wl = kept
+		}
+		for _, i := range wl {
+			mark[i] = true
+		}
+	}
+	for i := 0; i < n; i++ {
+		if mark[i] {
+			ids = append(ids, int32(i))
+		}
+	}
+	return ids, nil
+}
+
+// AppendRepairedByLastUpdate refreshes, in place, the predictive Gaussians
+// of every point the last Update may have moved, appends those point indices
+// (ascending) to ids, and returns the extended slice plus whether the repair
+// state was usable — false (with nil error) means the caller must fall back
+// to re-predicting affected points from scratch.
+//
+// It requires a PredictBatchRepair sweep of the same n points followed by
+// exactly one Update. The key structural fact: an Insert only ever modifies
+// the subtree at the covering leaf — so in each updated tree, the moved
+// points are exactly those whose memoized leaf index is the affected node
+// (found by one equality scan, no root-path re-filtering), and their new
+// prediction is the updated leaf's value (one constant), or a short walk
+// through the regrown subtree when the leaf re-split. Unchanged trees are
+// never touched, and each repaired point's Gaussian is recomputed from the
+// per-tree matrix in tree order — the same accumulation order as accumRow —
+// so the repaired memo stays bitwise identical to a fresh prediction sweep.
+//
+// Columns must be exactly n long. AppendRepairedByLastUpdate mutates the
+// repair matrix and scratch, so calls on one ensemble must not run
+// concurrently with anything else on it.
+func (e *Ensemble) AppendRepairedByLastUpdate(cols [][]float64, n int, ids []int32, preds []numeric.Gaussian) ([]int32, bool, error) {
+	if !e.Trained() {
+		return ids, false, ErrNotTrained
+	}
+	if e.repairN != n || !e.repairDirty {
+		return ids, false, nil
+	}
+	if len(cols) != e.numFeatures {
+		return ids, false, fmt.Errorf("bagging: feature matrix has %d columns, want %d", len(cols), e.numFeatures)
+	}
+	for f, col := range cols {
+		if len(col) != n {
+			return ids, false, fmt.Errorf("bagging: feature column %d has %d points, want %d", f, len(col), n)
+		}
+	}
+	if len(preds) < n {
+		return ids, false, fmt.Errorf("bagging: prediction array has %d slots, want at least %d", len(preds), n)
+	}
+	e.repairDirty = false
+	if len(e.lastAffected) == 0 {
+		return ids, true, nil
+	}
+	T := len(e.trees)
+	mat := e.repairPreds[:T*n]
+	leaves := e.repairLeaf[:T*n]
+	if cap(e.markBuf) < n {
+		e.markBuf = make([]bool, n)
+	}
+	mark := e.markBuf[:n]
+	for i := range mark {
+		mark[i] = false
+	}
+	for ti, tree := range e.trees {
+		a := e.lastAffected[ti]
+		if a < 0 {
+			continue
+		}
+		// The affected node was the covering leaf before the insert, so the
+		// points it moved are exactly those whose memoized leaf is that
+		// node — one sequential equality scan over this tree's leaf row.
+		// (A root-leaf tree is just the a == 0 instance: every point
+		// matches.) No cross-tree mark skip: this tree's matrix row must
+		// refresh for every matching point, marked or not.
+		row := mat[ti*n : (ti+1)*n : (ti+1)*n]
+		leafRow := leaves[ti*n : (ti+1)*n : (ti+1)*n]
+		if v, isLeaf := tree.NodeValue(int(a)); isLeaf {
+			// Leaf mean update: one constant covers every matching point,
+			// and the leaf assignment is unchanged.
+			for i, l := range leafRow {
+				if l == a {
+					row[i] = v
+					mark[i] = true
+				}
+			}
+		} else {
+			// The leaf re-split: matching points diverge through the
+			// regrown subtree, entered directly at the affected node, and
+			// their leaf assignments move to the regrown leaves.
+			if cap(e.rowScratch) < e.numFeatures {
+				e.rowScratch = make([]float64, e.numFeatures)
+			}
+			x := e.rowScratch[:e.numFeatures]
+			for i, l := range leafRow {
+				if l != a {
+					continue
+				}
+				for f, col := range cols {
+					x[f] = col[i]
+				}
+				row[i], leafRow[i] = tree.PredictLeafFromUnchecked(int(a), x)
+				mark[i] = true
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !mark[i] {
+			continue
+		}
+		var sum, sumSq float64
+		for t := 0; t < T; t++ {
+			p := mat[t*n+i]
+			sum += p
+			sumSq += p * p
+		}
+		preds[i] = e.gaussianFromSums(sum, sumSq)
+		ids = append(ids, int32(i))
+	}
+	return ids, true, nil
+}
+
 // AffectedByLastUpdateBatch sweeps a column-major candidate matrix
 // (cols[f][i] is feature f of point i) and writes to out[i] whether the last
-// Update may have changed the prediction of point i — the batched equivalent
-// of AffectedByLastUpdate. Instead of walking every tree per point, it
-// extracts each updated tree's root-to-affected-node split constraints once
-// and checks points against them, stopping at the first violated constraint;
-// points far from the updated region (the vast majority after a one-sample
-// update) are rejected by the first split. The prediction memo's selective
-// invalidation runs on this sweep.
+// Update may have changed the prediction of point i — the dense form of
+// AppendAffectedByLastUpdate, kept for callers that want per-point flags.
 //
-// AffectedByLastUpdateBatch reuses a path buffer on the ensemble, so calls
-// on one ensemble must not run concurrently (Predict and PredictBatch remain
+// AffectedByLastUpdateBatch reuses scratch on the ensemble, so calls on one
+// ensemble must not run concurrently (Predict and PredictBatch remain
 // concurrency-safe).
 func (e *Ensemble) AffectedByLastUpdateBatch(cols [][]float64, out []bool) error {
 	if !e.Trained() {
@@ -168,34 +378,13 @@ func (e *Ensemble) AffectedByLastUpdateBatch(cols [][]float64, out []bool) error
 	for i := range out {
 		out[i] = false
 	}
-	if len(e.lastAffected) == 0 {
-		return nil
+	ids, err := e.AppendAffectedByLastUpdate(cols, n, e.idsBuf[:0])
+	e.idsBuf = ids[:0]
+	if err != nil {
+		return err
 	}
-	for ti, tree := range e.trees {
-		a := e.lastAffected[ti]
-		if a < 0 {
-			continue
-		}
-		steps, ok := tree.AppendPathTo(int(a), e.pathBuf[:0])
-		e.pathBuf = steps[:0]
-		if !ok {
-			return fmt.Errorf("bagging: affected node %d not found in tree %d", a, ti)
-		}
-		for i := 0; i < n; i++ {
-			if out[i] {
-				continue
-			}
-			hit := true
-			for _, s := range steps {
-				if (cols[s.Feature][i] <= s.Threshold) != s.Left {
-					hit = false
-					break
-				}
-			}
-			if hit {
-				out[i] = true
-			}
-		}
+	for _, id := range ids {
+		out[id] = true
 	}
 	return nil
 }
@@ -244,5 +433,11 @@ func (e *Ensemble) CloneInto(dst any) error {
 		tree.CloneInto(d.trees[i])
 	}
 	d.lastAffected = append(d.lastAffected[:0], e.lastAffected...)
+	d.repairN = e.repairN
+	d.repairDirty = e.repairDirty
+	if e.repairN > 0 {
+		d.repairPreds = append(d.repairPreds[:0], e.repairPreds[:len(e.trees)*e.repairN]...)
+		d.repairLeaf = append(d.repairLeaf[:0], e.repairLeaf[:len(e.trees)*e.repairN]...)
+	}
 	return nil
 }

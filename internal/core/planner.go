@@ -284,6 +284,34 @@ func (ts *trainSet) withEntry(features []float64, cost float64, extras []float64
 	return out
 }
 
+// withEntryInto is withEntry into reusable storage: dst's slices are
+// overwritten with the receiver's entries plus one speculated entry and dst
+// is returned. A nil extras appends a zero for every constraint metric. The
+// speculation loop extends the same parent set once per depth, so recycling
+// dst removes the per-outcome training-set copies from the planner's hot
+// path; the receiver is never modified.
+func (ts *trainSet) withEntryInto(dst *trainSet, features []float64, cost float64, extras []float64, feasible bool) *trainSet {
+	dst.features = append(dst.features[:0], ts.features...)
+	dst.features = append(dst.features, features)
+	dst.costs = append(dst.costs[:0], ts.costs...)
+	dst.costs = append(dst.costs, cost)
+	dst.feasible = append(dst.feasible[:0], ts.feasible...)
+	dst.feasible = append(dst.feasible, feasible)
+	if cap(dst.extras) < len(ts.extras) {
+		dst.extras = make([][]float64, len(ts.extras))
+	}
+	dst.extras = dst.extras[:len(ts.extras)]
+	for k := range ts.extras {
+		dst.extras[k] = append(dst.extras[k][:0], ts.extras[k]...)
+		if extras == nil {
+			dst.extras[k] = append(dst.extras[k], 0)
+		} else {
+			dst.extras[k] = append(dst.extras[k], extras[k])
+		}
+	}
+	return dst
+}
+
 // bestFeasibleCost returns the lowest cost among feasible entries.
 func (ts *trainSet) bestFeasibleCost() (float64, bool) {
 	best := 0.0
@@ -320,6 +348,10 @@ func (ts *trainSet) maxCost() float64 {
 type modelSet struct {
 	cost   *model.Cached
 	extras []*model.Cached
+
+	// extraMemos is scratch for extraMemosOf: one slot per extra model,
+	// rewritten on every fast-path eligibility sweep.
+	extraMemos [][]numeric.Gaussian
 }
 
 // newModelSet creates untrained models on a deterministic random stream, with
@@ -480,13 +512,44 @@ type pathWorkspace struct {
 	// outcome. The buffers are only live within one nextStep call, so one
 	// set per workspace suffices for the whole recursion.
 	elig eligibleBuf
+
+	// depths[d] is the serial combo loop's scratch at speculation depth d:
+	// the extended training set, the reduced untested slice, the speculated
+	// child state, and the Gauss-Hermite outcome/combo buffers. Depth d's
+	// recursion returns before depth d reuses its scratch for the next combo,
+	// so one set per depth serves the whole path; forked combo loops
+	// deliberately allocate instead, since their child states outlive the
+	// spawning frame (see explorePathsForked).
+	depths []*pathDepthScratch
+}
+
+// pathDepthScratch is one speculation depth's reusable combo-loop storage.
+type pathDepthScratch struct {
+	train     *trainSet
+	untested  []candidate
+	state     specState
+	outcomes  []numeric.WeightedValue
+	combos    []numeric.WeightedVector
+	comboVals []float64
+}
+
+// depth returns the scratch of the given speculation depth, creating it on
+// first use. Contents are fully overwritten before every use.
+func (ws *pathWorkspace) depth(slot int) *pathDepthScratch {
+	for len(ws.depths) <= slot {
+		ws.depths = append(ws.depths, &pathDepthScratch{train: &trainSet{}})
+	}
+	return ws.depths[slot]
 }
 
 // eligibleBuf holds the reusable output buffers of one eligibility sweep.
+// extrasFlat is the arena backing the per-candidate rows of extraPreds on
+// the memo fast path.
 type eligibleBuf struct {
 	cands      []candidate
 	costPreds  []numeric.Gaussian
 	extraPreds [][]numeric.Gaussian
+	extrasFlat []numeric.Gaussian
 }
 
 // cloneSlot returns the model-set slot of the given speculation depth,
@@ -535,13 +598,19 @@ type specState struct {
 
 // without returns the untested set minus the given candidate.
 func without(untested []candidate, id int) []candidate {
-	out := make([]candidate, 0, len(untested)-1)
+	return appendWithout(make([]candidate, 0, len(untested)-1), untested, id)
+}
+
+// appendWithout appends the untested set minus the given candidate to dst
+// and returns the extended slice — the recycled-storage form of without used
+// by the speculation loop's per-depth scratch.
+func appendWithout(dst []candidate, untested []candidate, id int) []candidate {
 	for _, c := range untested {
 		if c.id != id {
-			out = append(out, c)
+			dst = append(dst, c)
 		}
 	}
-	return out
+	return dst
 }
 
 // setupCost returns the setup cost of switching from the state's deployed
@@ -579,6 +648,16 @@ func (p *planner) incumbent(state *specState, ms *modelSet) (float64, error) {
 		return inc, nil
 	}
 	maxStd := 0.0
+	if memo := ms.cost.MemoPreds(); memo != nil {
+		// Memo fast path: every slot is fresh, so the sweep is plain array
+		// reads — no per-candidate call, no atomic tag loads.
+		for _, u := range state.untested {
+			if s := memo[u.slot].StdDev; s > maxStd {
+				maxStd = s
+			}
+		}
+		return acquisition.IncumbentFallback(state.train.maxCost(), maxStd), nil
+	}
 	for _, u := range state.untested {
 		pred, _, err := ms.predictCand(u)
 		if err != nil {
@@ -603,7 +682,14 @@ func (p *planner) eic(incumbent float64, cand candidate, costPred numeric.Gaussi
 		// configurations predicted clearly above the incumbent.
 		return 0, nil
 	}
-	probs := make([]float64, 0, 1+len(extraPreds))
+	// acquisition.Constrained only reads the variadic slice, so a small
+	// stack array covers the runtime constraint plus the handful of extra
+	// metric constraints without allocating on every candidate scored.
+	var probsArr [4]float64
+	probs := probsArr[:0]
+	if 1+len(extraPreds) > cap(probs) {
+		probs = make([]float64, 0, 1+len(extraPreds))
+	}
 	runtimeProb, err := acquisition.ConstraintProbability(costPred, p.opts.MaxRuntimeSeconds, cand.unitPriceHour/3600)
 	if err != nil {
 		return 0, err
@@ -643,6 +729,62 @@ func (p *planner) eligible(untested []candidate, ms *modelSet, budget float64, b
 		costPreds = make([]numeric.Gaussian, 0, len(untested))
 		extraPreds = make([][]numeric.Gaussian, 0, len(untested))
 	}
+
+	// Memo fast path: when every model's memo is all-valid — the steady state
+	// after a prefilled refit or an eagerly repaired incremental update — the
+	// sweep reads the prediction arrays directly, skipping the per-candidate
+	// PredictID calls (and their atomic tag loads) that otherwise dominate
+	// the speculation profile. Per-candidate extras rows are carved from the
+	// buffer's flat arena instead of allocated.
+	costMemo := ms.cost.MemoPreds()
+	extraMemos := extraMemosOf(ms)
+	if costMemo != nil && extraMemos != nil {
+		var flat []numeric.Gaussian
+		if buf != nil {
+			flat = buf.extrasFlat[:0]
+		}
+		nk := len(ms.extras)
+		for _, u := range untested {
+			costPred := costMemo[u.slot]
+			var ok bool
+			if p.eligUseZ {
+				if costPred.StdDev == 0 {
+					ok = budget >= costPred.Mean
+				} else {
+					ok = budget >= costPred.Mean+p.eligZ*costPred.StdDev
+				}
+			} else {
+				ok = costPred.ProbLE(budget) >= p.params.EligibilityProb
+			}
+			if !ok {
+				continue
+			}
+			out = append(out, u)
+			costPreds = append(costPreds, costPred)
+			var row []numeric.Gaussian
+			if buf != nil {
+				base := len(flat)
+				for _, em := range extraMemos {
+					flat = append(flat, em[u.slot])
+				}
+				row = flat[base:len(flat):len(flat)]
+			} else {
+				row = make([]numeric.Gaussian, nk)
+				for k, em := range extraMemos {
+					row[k] = em[u.slot]
+				}
+			}
+			extraPreds = append(extraPreds, row)
+		}
+		if buf != nil {
+			buf.cands = out
+			buf.costPreds = costPreds
+			buf.extraPreds = extraPreds
+			buf.extrasFlat = flat
+		}
+		return out, costPreds, extraPreds, nil
+	}
+
 	for _, u := range untested {
 		costPred, extras, err := ms.predictCand(u)
 		if err != nil {
@@ -670,6 +812,31 @@ func (p *planner) eligible(untested []candidate, ms *modelSet, budget float64, b
 		buf.extraPreds = extraPreds
 	}
 	return out, costPreds, extraPreds, nil
+}
+
+// extraMemosEmpty is the shared zero-extras result of extraMemosOf: non-nil
+// (so the fast path engages) but empty.
+var extraMemosEmpty = [][]numeric.Gaussian{}
+
+// extraMemosOf collects the all-valid memo arrays of the set's extra models,
+// or nil when any extra model's memo is not all-valid (the fast path then
+// falls back to PredictID). The zero-extras case — Lynceus' single-constraint
+// formulation — returns a shared empty slice without touching the heap.
+func extraMemosOf(ms *modelSet) [][]numeric.Gaussian {
+	if len(ms.extras) == 0 {
+		return extraMemosEmpty
+	}
+	if ms.extraMemos == nil {
+		ms.extraMemos = make([][]numeric.Gaussian, len(ms.extras))
+	}
+	for k, m := range ms.extras {
+		em := m.MemoPreds()
+		if em == nil {
+			return nil
+		}
+		ms.extraMemos[k] = em
+	}
+	return ms.extraMemos
 }
 
 // nextStep selects the configuration explored at depth ≥ 2 of a path: the
@@ -733,20 +900,33 @@ func (p *planner) explorePaths(state *specState, models *modelSet, inc float64, 
 	// metric each contribute a Gauss-Hermite marginal; the joint outcomes are
 	// their Cartesian product (paper §4.4 for the multi-constraint case). In
 	// the common single-constraint case (no extras) the cost marginal is the
-	// joint distribution, so the product machinery is skipped.
-	costOutcomes, err := numeric.DiscretizeGaussian(costPred, p.params.GHOrder)
-	if err != nil {
-		return 0, 0, err
-	}
+	// joint distribution, so the product machinery is skipped and both the
+	// outcomes and the combo headers live in this depth's recycled scratch —
+	// one Gauss-Hermite batch of speculated outcomes per step, allocated
+	// never.
+	ds := ws.depth(slot)
 	var combos []numeric.WeightedVector
 	if len(extraPreds) == 0 {
-		combos = make([]numeric.WeightedVector, len(costOutcomes))
-		values := make([]float64, len(costOutcomes))
-		for i, o := range costOutcomes {
+		ds.outcomes, err = numeric.AppendDiscretizedGaussian(ds.outcomes[:0], costPred, p.params.GHOrder)
+		if err != nil {
+			return 0, 0, err
+		}
+		nOut := len(ds.outcomes)
+		if cap(ds.combos) < nOut {
+			ds.combos = make([]numeric.WeightedVector, nOut)
+			ds.comboVals = make([]float64, nOut)
+		}
+		combos = ds.combos[:nOut]
+		values := ds.comboVals[:nOut]
+		for i, o := range ds.outcomes {
 			values[i] = o.Value
 			combos[i] = numeric.WeightedVector{Values: values[i : i+1 : i+1], Weight: o.Weight}
 		}
 	} else {
+		costOutcomes, err := numeric.DiscretizeGaussian(costPred, p.params.GHOrder)
+		if err != nil {
+			return 0, 0, err
+		}
 		dims := make([][]numeric.WeightedValue, 0, 1+len(extraPreds))
 		dims = append(dims, costOutcomes)
 		for _, pred := range extraPreds {
@@ -762,7 +942,8 @@ func (p *planner) explorePaths(state *specState, models *modelSet, inc float64, 
 		}
 	}
 
-	childUntested := without(state.untested, cand.id)
+	childUntested := appendWithout(ds.untested[:0], state.untested, cand.id)
+	ds.untested = childUntested[:0]
 	if len(childUntested) == 0 {
 		return reward, cost, nil
 	}
@@ -783,7 +964,7 @@ func (p *planner) explorePaths(state *specState, models *modelSet, inc float64, 
 	// and the entry is rewritten per combo. Deeper recursion copies the
 	// training set before extending it, so the mutation never escapes this
 	// loop.
-	childTrain := state.train.withEntry(cand.features, 0, make([]float64, len(extraPreds)), false)
+	childTrain := state.train.withEntryInto(ds.train, cand.features, 0, nil, false)
 	last := len(childTrain.costs) - 1
 	for _, combo := range combos {
 		specCost := combo.Values[0]
@@ -795,12 +976,13 @@ func (p *planner) explorePaths(state *specState, models *modelSet, inc float64, 
 		for k := range childTrain.extras {
 			childTrain.extras[k][last] = specExtras[k]
 		}
-		childState := &specState{
+		ds.state = specState{
 			train:    childTrain,
 			untested: childUntested,
 			budget:   state.budget - specCost - setup,
 			deployed: childDeployed,
 		}
+		childState := &ds.state
 		var childModels *modelSet
 		if p.refitMode == SpecRefitIncremental {
 			// Incremental fast path: snapshot the parent models into this

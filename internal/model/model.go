@@ -54,6 +54,35 @@ type BatchAffectedRegressor interface {
 	AffectedByLastUpdateBatch(cols [][]float64, out []bool) error
 }
 
+// AffectedAppender is the sparse form of BatchAffectedRegressor: it appends
+// the ascending indices i ∈ [0, n) of the column-major matrix whose
+// prediction the last Update may have changed. Combined with BatchRegressor
+// it lets Cached.Update repair its memo eagerly — re-predict exactly the
+// affected entries in one small batched call — instead of invalidating slots
+// and paying a lazy recompute (plus an atomic tag per slot) on every later
+// read.
+type AffectedAppender interface {
+	AppendAffectedByLastUpdate(cols [][]float64, n int, ids []int32) ([]int32, error)
+}
+
+// MemoRepairer is the strongest eager-repair extension: the regressor keeps
+// enough per-point bookkeeping from a PredictBatchRepair sweep to refresh
+// the points a one-sample Update moved without re-predicting them from
+// scratch (for the bagging ensemble, per-tree constant stores instead of
+// whole-ensemble re-walks). Repaired Gaussians must stay bitwise identical
+// to a fresh prediction. Cached prefers this over the AffectedAppender +
+// BatchRegressor gather/re-predict pair whenever it is implemented.
+type MemoRepairer interface {
+	// PredictBatchRepair is PredictBatch plus the repair bookkeeping for
+	// the swept points.
+	PredictBatchRepair(cols [][]float64, out []numeric.Gaussian) error
+	// AppendRepairedByLastUpdate refreshes preds[i] in place for every
+	// point the last Update may have moved, appends those indices to ids,
+	// and reports whether the repair state was usable — false (with nil
+	// error) means the caller must fall back to re-predicting.
+	AppendRepairedByLastUpdate(cols [][]float64, n int, ids []int32, preds []numeric.Gaussian) ([]int32, bool, error)
+}
+
 // IncrementalRegressor is implemented by regressors that can fold one sample
 // into their fitted state without a full refit, and that can snapshot that
 // state into another instance of the same concrete type. The planner's
@@ -106,6 +135,7 @@ var (
 	_ BatchRegressor         = (*gp.GP)(nil)
 	_ IncrementalRegressor   = (*bagging.Ensemble)(nil)
 	_ BatchAffectedRegressor = (*bagging.Ensemble)(nil)
+	_ AffectedAppender       = (*bagging.Ensemble)(nil)
 )
 
 // BaggingFactory builds bagging ensembles of regression trees (the paper's
@@ -184,6 +214,17 @@ var ErrNilFactory = errors.New("model: nil factory")
 // set across every concurrently scored subtree without serializing on memo
 // synchronization.
 //
+// On top of the tagged slots sits an all-valid fast path: after a successful
+// Prefill every slot is fresh, so the memo flips to allValid and PredictID
+// becomes a plain array read with no atomics. When the inner regressor can
+// enumerate the entries a one-sample Update may have moved (AffectedAppender
+// + BatchRegressor, as the bagging ensemble can), Update repairs exactly
+// those entries in place with one small batched predict and the memo stays
+// allValid — the per-update O(memo) tag sweep disappears from the planner's
+// incremental hot path. While allValid is set the slot tags are bypassed and
+// hold garbage, so every transition out of allValid must rewrite them (see
+// scrubTags) before any tagged read can occur.
+//
 // Fit, Update, Prefill and CloneFrom still mutate the model itself and must
 // not run concurrently with anything else on the same Cached.
 type Cached struct {
@@ -193,9 +234,16 @@ type Cached struct {
 	// slotGens[id] is the atomically published generation tag of memo slot
 	// id, memoWriting while a writer holds the slot's publish claim; preds
 	// holds the memoized distributions. A slot is valid iff its tag equals
-	// the current generation (plus memoGenOffset).
+	// the current generation (plus memoGenOffset). While allValid is set the
+	// tags are bypassed entirely and their contents are meaningless.
 	slotGens []atomic.Uint32
 	preds    []numeric.Gaussian
+
+	// allValid marks that every memo slot holds the current generation's
+	// prediction, letting PredictID skip the atomic tag check. Only mutating
+	// calls flip it, and those are exclusive by contract, so the plain bool
+	// is safe.
+	allValid bool
 
 	// lastCols remembers the column-major feature matrix of the last Prefill
 	// (cols[d][id] is feature d of the configuration in memo slot id). It is
@@ -204,11 +252,16 @@ type Cached struct {
 	lastCols [][]float64
 
 	// Scratch reused by Prefill and Update: the affected-flag buffer, a
-	// column-view header, and one gathered feature row for inner regressors
-	// without the batch extensions.
-	affected []bool
-	colView  [][]float64
-	row      []float64
+	// column-view header, one gathered feature row for inner regressors
+	// without the batch extensions, and the eager repair path's affected-id
+	// list, gathered feature columns and batched predictions.
+	affected   []bool
+	colView    [][]float64
+	row        []float64
+	idsBuf     []int32
+	gatherBuf  []float64
+	gatherCols [][]float64
+	gatherOut  []numeric.Gaussian
 }
 
 // NewCached wraps inner with a memo for configuration IDs in [0, size).
@@ -227,10 +280,33 @@ func (c *Cached) Generation() int { return int(c.gen) }
 // Fit trains the wrapped model and invalidates the memo.
 func (c *Cached) Fit(features [][]float64, targets []float64) error {
 	if err := c.inner.Fit(features, targets); err != nil {
+		// The inner model may be partially refitted; make sure the memo does
+		// not keep serving pre-fit predictions through the allValid bypass.
+		c.dropAllValid()
 		return err
 	}
 	c.gen++
+	c.dropAllValid()
 	return nil
+}
+
+// dropAllValid leaves the all-valid fast path, rewriting the bypassed (and
+// therefore garbage) slot tags to "stale" so the tagged read path cannot
+// accidentally hit. No-op when the memo is already on the tagged path.
+func (c *Cached) dropAllValid() {
+	if !c.allValid {
+		return
+	}
+	c.allValid = false
+	c.scrubTags()
+}
+
+// scrubTags marks every memo slot stale. Tag 0 can never equal a live
+// generation: memoGenOffset keeps the current generation's tag at least 1.
+func (c *Cached) scrubTags() {
+	for i := range c.slotGens {
+		c.slotGens[i].Store(0)
+	}
 }
 
 // Predict forwards to the wrapped model without touching the memo; use it for
@@ -248,6 +324,10 @@ func (c *Cached) Predict(x []float64) (numeric.Gaussian, error) {
 // predictions are deterministic, so racing writers compute identical values
 // and the losing writer just skips publication.
 func (c *Cached) PredictID(id int, x []float64) (numeric.Gaussian, error) {
+	if c.allValid && id >= 0 && id < len(c.preds) {
+		// All-valid fast path: every slot is fresh, no tag to check.
+		return c.preds[id], nil
+	}
 	cur := c.gen + memoGenOffset
 	inMemo := id >= 0 && id < len(c.slotGens)
 	var seen uint32
@@ -266,6 +346,20 @@ func (c *Cached) PredictID(id int, x []float64) (numeric.Gaussian, error) {
 		c.slotGens[id].Store(cur)
 	}
 	return pred, nil
+}
+
+// MemoPreds exposes the memoized prediction array when every slot is known
+// fresh (the all-valid fast path is active), and nil otherwise. The planner's
+// candidate sweeps read it directly — one bounds check per candidate instead
+// of a PredictID call with an atomic tag load. The returned slice is indexed
+// by configuration ID, is owned by the Cached, and is invalidated by any
+// mutating call; callers must not retain it across Fit, Update, Prefill or
+// CloneFrom.
+func (c *Cached) MemoPreds() []numeric.Gaussian {
+	if !c.allValid {
+		return nil
+	}
+	return c.preds
 }
 
 // SupportsBatch reports whether the wrapped regressor implements
@@ -299,6 +393,10 @@ func (c *Cached) Prefill(cols [][]float64) error {
 			return fmt.Errorf("model: feature column %d has %d points, want at least %d", d, len(col), n)
 		}
 	}
+	// Leave the all-valid bypass before touching preds: on a mid-sweep error
+	// the array is partially overwritten, which the tagged path correctly
+	// treats as stale but the bypass would serve.
+	c.dropAllValid()
 	gen := c.gen + memoGenOffset
 	c.lastCols = cols
 	if batch, ok := c.inner.(BatchRegressor); ok {
@@ -306,13 +404,18 @@ func (c *Cached) Prefill(cols [][]float64) error {
 		// straight into the memo's prediction array: Prefill is exclusive
 		// by contract, and on error the slot tags are never published, so a
 		// partially overwritten array is indistinguishable from stale.
+		// Memo-repairing regressors sweep through PredictBatchRepair
+		// instead (bitwise-identical output), arming the O(changed-trees)
+		// repair path for the Updates that follow.
 		cols = c.viewFirstN(cols, n)
-		if err := batch.PredictBatch(cols, c.preds[:n]); err != nil {
+		if rep, ok := c.inner.(MemoRepairer); ok {
+			if err := rep.PredictBatchRepair(cols, c.preds[:n]); err != nil {
+				return err
+			}
+		} else if err := batch.PredictBatch(cols, c.preds[:n]); err != nil {
 			return err
 		}
-		for id := 0; id < n; id++ {
-			c.slotGens[id].Store(gen)
-		}
+		c.allValid = true
 		return nil
 	}
 	if cap(c.row) < len(cols) {
@@ -330,6 +433,7 @@ func (c *Cached) Prefill(cols [][]float64) error {
 		c.preds[id] = pred
 		c.slotGens[id].Store(gen)
 	}
+	c.allValid = true
 	return nil
 }
 
@@ -365,13 +469,18 @@ func (c *Cached) SupportsIncremental() bool {
 	return ok
 }
 
-// Update folds one sample into the wrapped incremental model and selectively
-// invalidates the prediction memo: the generation is bumped, but entries
-// whose predictions cannot have changed — per AffectedByLastUpdate over the
-// feature matrix of the last Prefill — are carried into the new generation.
-// After a one-sample update most of the candidate set keeps its memoized
-// prediction, which is what makes the planner's incremental speculation sweep
-// in O(changed) instead of O(candidates) model evaluations.
+// Update folds one sample into the wrapped incremental model and keeps the
+// prediction memo consistent. The generation is always bumped. When the memo
+// is all-valid and the inner regressor supports the eager repair pair
+// (AffectedAppender + BatchRegressor), the affected entries — typically a
+// handful after a one-sample update — are re-predicted in place with one
+// small batched call and the memo stays all-valid: later reads are plain
+// array loads, with no recompute and no atomic tag traffic. Otherwise the
+// memo falls back to selective tag invalidation: entries whose predictions
+// cannot have changed — per AffectedByLastUpdate over the feature matrix of
+// the last Prefill — are carried into the new generation, and affected ones
+// are recomputed lazily. Either way the speculation sweep costs O(changed)
+// instead of O(candidates) model evaluations.
 //
 // Without a preceding Prefill there is no feature source to check against,
 // so the whole memo goes stale (correct, just slower). Update mutates the
@@ -382,13 +491,17 @@ func (c *Cached) Update(x []float64, y float64) error {
 		return fmt.Errorf("model: regressor %T does not support incremental updates", c.inner)
 	}
 	if err := inc.Update(x, y); err != nil {
+		// Update validates before mutating, so the memoized predictions
+		// still describe the model; the memo is left untouched.
 		return err
 	}
 	oldGen := c.gen + memoGenOffset
 	c.gen++
 	newGen := c.gen + memoGenOffset
 	cols := c.lastCols
+	wasAllValid := c.allValid
 	if len(cols) == 0 {
+		c.dropAllValid()
 		return nil
 	}
 	n := len(c.slotGens)
@@ -397,13 +510,34 @@ func (c *Cached) Update(x []float64, y float64) error {
 			n = len(col)
 		}
 	}
+	if wasAllValid && n == len(c.slotGens) {
+		app, okApp := c.inner.(AffectedAppender)
+		batch, okBatch := c.inner.(BatchRegressor)
+		if okApp && okBatch {
+			return c.repairAllValid(app, batch, cols, n)
+		}
+	}
 	if batch, ok := c.inner.(BatchAffectedRegressor); ok {
 		if cap(c.affected) < n {
 			c.affected = make([]bool, n)
 		}
 		affected := c.affected[:n]
 		if err := batch.AffectedByLastUpdateBatch(c.viewFirstN(cols, n), affected); err != nil {
+			c.dropAllValid()
 			return err
+		}
+		if wasAllValid {
+			// The bypassed tags are garbage, but every prediction is known
+			// valid for the pre-update model, so unaffected slots can be
+			// tagged fresh directly; affected ones go stale.
+			c.allValid = false
+			c.scrubTags()
+			for id := 0; id < n; id++ {
+				if !affected[id] {
+					c.slotGens[id].Store(newGen)
+				}
+			}
+			return nil
 		}
 		for id := 0; id < n; id++ {
 			if c.slotGens[id].Load() == oldGen && !affected[id] {
@@ -416,8 +550,12 @@ func (c *Cached) Update(x []float64, y float64) error {
 		c.row = make([]float64, len(cols))
 	}
 	row := c.row[:len(cols)]
+	if wasAllValid {
+		c.allValid = false
+		c.scrubTags()
+	}
 	for id := 0; id < n; id++ {
-		if c.slotGens[id].Load() != oldGen {
+		if !wasAllValid && c.slotGens[id].Load() != oldGen {
 			continue
 		}
 		for d, col := range cols {
@@ -426,6 +564,66 @@ func (c *Cached) Update(x []float64, y float64) error {
 		if !inc.AffectedByLastUpdate(row) {
 			c.slotGens[id].Store(newGen)
 		}
+	}
+	return nil
+}
+
+// repairAllValid is Update's eager path: with every memo slot valid for the
+// pre-update model, re-predicting just the affected IDs brings the whole
+// memo to the post-update model in one batched call, so the all-valid bypass
+// survives the update.
+func (c *Cached) repairAllValid(app AffectedAppender, batch BatchRegressor, cols [][]float64, n int) error {
+	// Fast path: a memo-repairing regressor refreshes the affected entries
+	// in place from its own bookkeeping — no row gather, no re-walk of
+	// unchanged trees. Unusable state (e.g. the memo was prefilled before
+	// the regressor's repair sweep existed, or a repair was skipped) falls
+	// through to the gather/re-predict pair below.
+	if rep, ok := c.inner.(MemoRepairer); ok {
+		ids, usable, err := rep.AppendRepairedByLastUpdate(c.viewFirstN(cols, n), n, c.idsBuf[:0], c.preds)
+		c.idsBuf = ids[:0]
+		if err != nil {
+			c.dropAllValid()
+			return err
+		}
+		if usable {
+			return nil
+		}
+	}
+	ids, err := app.AppendAffectedByLastUpdate(cols, n, c.idsBuf[:0])
+	if err != nil {
+		c.idsBuf = ids[:0]
+		c.dropAllValid()
+		return err
+	}
+	c.idsBuf = ids
+	m := len(ids)
+	if m == 0 {
+		return nil
+	}
+	if cap(c.gatherBuf) < m*len(cols) {
+		c.gatherBuf = make([]float64, m*len(cols))
+	}
+	if cap(c.gatherCols) < len(cols) {
+		c.gatherCols = make([][]float64, len(cols))
+	}
+	gcols := c.gatherCols[:len(cols)]
+	for d, col := range cols {
+		g := c.gatherBuf[d*m : (d+1)*m : (d+1)*m]
+		for k, id := range ids {
+			g[k] = col[id]
+		}
+		gcols[d] = g
+	}
+	if cap(c.gatherOut) < m {
+		c.gatherOut = make([]numeric.Gaussian, m)
+	}
+	outs := c.gatherOut[:m]
+	if err := batch.PredictBatch(gcols, outs); err != nil {
+		c.dropAllValid()
+		return err
+	}
+	for k, id := range ids {
+		c.preds[id] = outs[k]
 	}
 	return nil
 }
@@ -445,6 +643,7 @@ func (c *Cached) CloneFrom(src *Cached) error {
 		return fmt.Errorf("model: source regressor %T does not support incremental cloning", src.inner)
 	}
 	if err := inc.CloneInto(c.inner); err != nil {
+		c.dropAllValid()
 		return err
 	}
 	c.gen = src.gen
@@ -455,6 +654,17 @@ func (c *Cached) CloneFrom(src *Cached) error {
 	}
 	c.slotGens = c.slotGens[:n]
 	c.preds = c.preds[:n]
+	c.lastCols = src.lastCols
+	if src.allValid {
+		// All-valid fast path: one bulk copy of the predictions, no per-slot
+		// atomics. The receiver's tags become garbage, which the allValid
+		// bypass makes irrelevant (and any later exit from the bypass scrubs
+		// them).
+		copy(c.preds, src.preds)
+		c.allValid = true
+		return nil
+	}
+	c.allValid = false
 	for id := 0; id < n; id++ {
 		g := src.slotGens[id].Load()
 		if g == memoWriting {
@@ -464,7 +674,6 @@ func (c *Cached) CloneFrom(src *Cached) error {
 		}
 		c.slotGens[id].Store(g)
 	}
-	c.lastCols = src.lastCols
 	return nil
 }
 

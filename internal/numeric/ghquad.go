@@ -163,6 +163,47 @@ func DiscretizeGaussian(g Gaussian, n int) ([]WeightedValue, error) {
 	return out, nil
 }
 
+// AppendDiscretizedGaussian appends the DiscretizeGaussian outcomes of g to
+// dst and returns the extended slice, computing identical values through the
+// same cached quadrature nodes without allocating per call. The planner's
+// speculation loop discretizes one predicted Gaussian per speculated step, so
+// the allocation-free form sits directly on its hot path.
+func AppendDiscretizedGaussian(dst []WeightedValue, g Gaussian, n int) ([]WeightedValue, error) {
+	if g.StdDev < 0 {
+		return dst, fmt.Errorf("%w: %v", ErrInvalidStdDev, g.StdDev)
+	}
+	if g.StdDev == 0 {
+		return append(dst, WeightedValue{Value: g.Mean, Weight: 1}), nil
+	}
+	nodes, err := gaussHermiteCached(n)
+	if err != nil {
+		return dst, err
+	}
+	invSqrtPi := 1 / math.Sqrt(math.Pi)
+	for _, node := range nodes {
+		dst = append(dst, WeightedValue{
+			Value:  g.Mean + math.Sqrt2*g.StdDev*node.X,
+			Weight: node.W * invSqrtPi,
+		})
+	}
+	return dst, nil
+}
+
+// gaussHermiteCached returns the cached node slice for order n without
+// cloning. Callers must treat the result as read-only.
+func gaussHermiteCached(n int) ([]GHNode, error) {
+	if cached, ok := ghCache.Load(n); ok {
+		nodes, _ := cached.([]GHNode)
+		return nodes, nil
+	}
+	if _, err := GaussHermite(n); err != nil {
+		return nil, err
+	}
+	cached, _ := ghCache.Load(n)
+	nodes, _ := cached.([]GHNode)
+	return nodes, nil
+}
+
 // CartesianWeighted combines independent per-dimension discretizations into
 // their Cartesian product: each combination carries one value per dimension
 // and a weight equal to the product of the component weights. It supports the

@@ -27,8 +27,8 @@ type incState struct {
 	params Params // normalized induction parameters, reused by re-splits
 
 	// cols is the column-major retained sample matrix (cols[f][i] is feature
-	// f of sample i) — the same layout grow consumes, so a leaf re-split runs
-	// the regular induction machinery over the leaf's sample indices.
+	// f of sample i) — the same layout growInto consumes, so a leaf re-split
+	// runs the regular induction machinery over the leaf's sample indices.
 	cols    [][]float64
 	targets []float64
 
@@ -37,7 +37,7 @@ type incState struct {
 	leafSamples [][]int32
 
 	// colArena and sampleArena back the cols / leafSamples storage of cloned
-	// trees, so CloneInto reuses one allocation per matrix instead of one per
+	// and arena-trained trees, so one allocation per matrix replaces one per
 	// column or leaf. Slices handed out of the arenas are capacity-capped, so
 	// post-clone appends copy out instead of clobbering neighbors.
 	colArena    []float64
@@ -63,32 +63,101 @@ const cloneColSlack = 8
 // and per-leaf membership required by Insert and deep Clone. The retained
 // matrix is a copy; the caller's rows are not referenced after return.
 func TrainIncremental(features [][]float64, targets []float64, params Params, rng *rand.Rand) (*Tree, error) {
-	t, err := Train(features, targets, params, rng)
-	if err != nil {
+	t := &Tree{}
+	if err := NewArena().TrainIncremental(t, features, targets, params, rng); err != nil {
 		return nil, err
 	}
-	n := len(targets)
-	inc := &incState{
-		params:      params.withDefaults(),
-		cols:        make([][]float64, t.numFeatures),
-		targets:     append(make([]float64, 0, n+cloneColSlack), targets...),
-		leafSamples: make([][]int32, len(t.nodes)),
+	return t, nil
+}
+
+// TrainIncremental is the arena form of the package-level TrainIncremental:
+// it fits dst through (*Arena).Train and rebuilds dst's retained incremental
+// state in place, reusing the column and sample arenas of dst's previous fit.
+func (a *Arena) TrainIncremental(dst *Tree, features [][]float64, targets []float64, params Params, rng *rand.Rand) error {
+	inc := dst.inc
+	if err := a.Train(dst, features, targets, params, rng); err != nil {
+		return err
 	}
-	flat := make([]float64, t.numFeatures*(n+cloneColSlack))
+	if inc == nil {
+		inc = &incState{}
+	}
+	dst.inc = inc
+	a.buildIncState(dst, inc, features, targets, params)
+	return nil
+}
+
+// buildIncState populates the retained sample matrix and per-leaf membership
+// of a freshly fitted tree. The columns land in the incState's reusable
+// arena with cloneColSlack spare samples each; the leaf membership lists are
+// capacity-capped subslices of the sample arena (appends past a leaf's
+// retained count copy out, matching the clone contract).
+func (a *Arena) buildIncState(t *Tree, inc *incState, features [][]float64, targets []float64, params Params) {
+	n := len(targets)
+	inc.params = params.withDefaults()
+
+	stride := n + cloneColSlack
+	if cap(inc.colArena) < t.numFeatures*stride {
+		inc.colArena = make([]float64, t.numFeatures*stride)
+	}
+	arena := inc.colArena[:t.numFeatures*stride]
+	if cap(inc.cols) < t.numFeatures {
+		inc.cols = make([][]float64, t.numFeatures)
+	}
+	inc.cols = inc.cols[:t.numFeatures]
 	for f := 0; f < t.numFeatures; f++ {
-		off := f * (n + cloneColSlack)
-		col := flat[off : off+n : off+n+cloneColSlack]
+		col := arena[f*stride : f*stride+n : (f+1)*stride]
 		for i, row := range features {
 			col[i] = row[f]
 		}
 		inc.cols[f] = col
 	}
+	if cap(inc.targets) < n+cloneColSlack {
+		inc.targets = make([]float64, 0, n+cloneColSlack)
+	}
+	inc.targets = append(inc.targets[:0], targets...)
+
+	// Two-pass leaf bucketing: assign every sample to its covering leaf, then
+	// carve the membership lists out of the sample arena in node order. The
+	// per-leaf sample order stays ascending, as appends would produce.
+	nodes := t.nodeCount()
+	if cap(a.leafOf) < n {
+		a.leafOf = make([]int32, n)
+	}
+	leafOf := a.leafOf[:n]
+	if cap(inc.leafSamples) < nodes {
+		inc.leafSamples = make([][]int32, nodes)
+	}
+	inc.leafSamples = inc.leafSamples[:nodes]
+	for i := range inc.leafSamples {
+		inc.leafSamples[i] = nil
+	}
+	if cap(inc.sampleArena) < n {
+		inc.sampleArena = make([]int32, n)
+	}
+	sa := inc.sampleArena[:n]
 	for i, row := range features {
-		leaf := t.leafIndex(row)
+		leafOf[i] = t.leafIndex(row)
+	}
+	if cap(a.leafCount) < nodes {
+		a.leafCount = make([]int32, nodes)
+	}
+	counts := a.leafCount[:nodes]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, leaf := range leafOf {
+		counts[leaf]++
+	}
+	off := 0
+	for node := range counts {
+		if c := int(counts[node]); c > 0 {
+			inc.leafSamples[node] = sa[off : off : off+c]
+			off += c
+		}
+	}
+	for i, leaf := range leafOf {
 		inc.leafSamples[leaf] = append(inc.leafSamples[leaf], int32(i))
 	}
-	t.inc = inc
-	return t, nil
 }
 
 // Incremental reports whether the tree retains the state needed by Insert.
@@ -107,14 +176,17 @@ func (t *Tree) Samples() int {
 func (t *Tree) leafIndex(x []float64) int32 {
 	nodes := t.nodes
 	i := int32(0)
-	for nodes[i].left >= 0 {
-		if x[nodes[i].feature] <= nodes[i].threshold {
-			i = nodes[i].left
+	for {
+		nd := nodes[i]
+		if nd.left < 0 {
+			return i
+		}
+		if x[nd.feat] <= nd.thresh {
+			i = nd.left
 		} else {
-			i = nodes[i].right
+			i = nd.right
 		}
 	}
-	return i
 }
 
 // Insert folds one sample into a tree trained with TrainIncremental: the
@@ -132,7 +204,7 @@ func (t *Tree) leafIndex(x []float64) int32 {
 // rng is only consumed when Params.FeatureFraction < 1 (it drives the
 // random-subspace draw of a re-split); it may be nil otherwise.
 func (t *Tree) Insert(x []float64, y float64, rng *rand.Rand) (int, error) {
-	if t == nil || len(t.nodes) == 0 {
+	if t == nil || t.nodeCount() == 0 {
 		return 0, errors.New("regtree: insert into untrained tree")
 	}
 	inc := t.inc
@@ -154,11 +226,15 @@ func (t *Tree) Insert(x []float64, y float64, rng *rand.Rand) (int, error) {
 	nodes := t.nodes
 	i := int32(0)
 	depth := 1
-	for nodes[i].left >= 0 {
-		if x[nodes[i].feature] <= nodes[i].threshold {
-			i = nodes[i].left
+	for {
+		nd := nodes[i]
+		if nd.left < 0 {
+			break
+		}
+		if x[nd.feat] <= nd.thresh {
+			i = nd.left
 		} else {
-			i = nodes[i].right
+			i = nd.right
 		}
 		depth++
 	}
@@ -184,9 +260,9 @@ func (t *Tree) Insert(x []float64, y float64, rng *rand.Rand) (int, error) {
 			constant = false
 		}
 	}
-	t.nodes[i].value = sum / float64(len(samples))
+	t.nodes[i].thresh = sum / float64(len(samples))
 
-	// Same gating as grow: too few samples, too deep, or constant targets
+	// Same gating as growInto: too few samples, too deep, or constant targets
 	// keep the leaf as-is. This is the common case — most inserts stop here.
 	p := inc.params
 	if len(samples) < p.MinSamplesSplit || (p.MaxDepth > 0 && depth > p.MaxDepth) || constant {
@@ -197,8 +273,10 @@ func (t *Tree) Insert(x []float64, y float64, rng *rand.Rand) (int, error) {
 }
 
 // resplitLeaf regrows the subtree rooted at the given leaf from its retained
-// samples, appending any new nodes to the flat array and redistributing the
-// samples over the new leaves.
+// samples: growInto rewrites the leaf's node slot in place, appends any new
+// descendants to the node arrays, and the retained samples are redistributed
+// over the new leaves. When no admissible split exists the appended state is
+// rolled back and the leaf (whose mean Insert already updated) is kept.
 func (t *Tree) resplitLeaf(i int32, depth int, samples []int32, rng *rand.Rand) {
 	inc := t.inc
 	sc := inc.ensureScratch(len(inc.targets), t.numFeatures)
@@ -209,22 +287,16 @@ func (t *Tree) resplitLeaf(i int32, depth int, samples []int32, rng *rand.Rand) 
 	sc.indices = idxs
 
 	oldLeaves, oldDepth := t.leaves, t.depth
-	root := t.grow(inc.cols, inc.targets, idxs, inc.params, rng, depth, sc.split)
-	if root.leaf {
-		// No admissible split; grow counted a phantom leaf and the mean is
-		// already up to date.
+	if !t.growInto(i, inc.cols, inc.targets, idxs, inc.params, rng, depth, sc.split) {
+		// No admissible split: growInto re-wrote the leaf (same mean, already
+		// up to date) and counted a phantom leaf; restore the counters.
 		t.leaves, t.depth = oldLeaves, oldDepth
 		return
 	}
-	// The old leaf is replaced by the subtree (whose leaves grow counted).
+	// The old leaf is replaced by the subtree (whose leaves growInto counted).
 	t.leaves--
-	t.nodes[i] = flatNode{feature: int32(root.feature), threshold: root.threshold}
-	left := t.flatten(root.left)
-	right := t.flatten(root.right)
-	t.nodes[i].left = left
-	t.nodes[i].right = right
 
-	for len(inc.leafSamples) < len(t.nodes) {
+	for len(inc.leafSamples) < t.nodeCount() {
 		inc.leafSamples = append(inc.leafSamples, nil)
 	}
 	inc.leafSamples[i] = nil
@@ -239,14 +311,17 @@ func (t *Tree) descendSample(start int32, s int32) int32 {
 	nodes := t.nodes
 	cols := t.inc.cols
 	i := start
-	for nodes[i].left >= 0 {
-		if cols[nodes[i].feature][s] <= nodes[i].threshold {
-			i = nodes[i].left
+	for {
+		nd := nodes[i]
+		if nd.left < 0 {
+			return i
+		}
+		if cols[nd.feat][s] <= nd.thresh {
+			i = nd.left
 		} else {
-			i = nodes[i].right
+			i = nd.right
 		}
 	}
-	return i
 }
 
 // ensureScratch returns the re-split scratch sized for n samples.
@@ -285,7 +360,7 @@ type PathStep struct {
 // one. The bagging ensemble sweeps candidate sets with it to bound which
 // predictions a one-sample update can have moved.
 func (t *Tree) AppendPathTo(node int, out []PathStep) ([]PathStep, bool) {
-	if t == nil || node < 0 || node >= len(t.nodes) {
+	if t == nil || node < 0 || node >= t.nodeCount() {
 		return out, false
 	}
 	return t.pathTo(0, int32(node), out)
@@ -296,16 +371,16 @@ func (t *Tree) pathTo(cur, target int32, out []PathStep) ([]PathStep, bool) {
 	if cur == target {
 		return out, true
 	}
-	n := t.nodes[cur]
-	if n.left < 0 {
+	nd := t.nodes[cur]
+	if nd.left < 0 {
 		return out, false
 	}
-	out = append(out, PathStep{Feature: n.feature, Threshold: n.threshold, Left: true})
-	if res, ok := t.pathTo(n.left, target, out); ok {
+	out = append(out, PathStep{Feature: nd.feat, Threshold: nd.thresh, Left: true})
+	if res, ok := t.pathTo(nd.left, target, out); ok {
 		return res, true
 	}
 	out[len(out)-1].Left = false
-	if res, ok := t.pathTo(n.right, target, out); ok {
+	if res, ok := t.pathTo(nd.right, target, out); ok {
 		return res, true
 	}
 	return out[:len(out)-1], false
@@ -315,21 +390,22 @@ func (t *Tree) pathTo(cur, target int32, out []PathStep) ([]PathStep, bool) {
 // with the given index. After an Insert that returned node n, the tree's
 // prediction for x can only have changed when HitsNode(x, n) is true — the
 // update touched nothing outside that node's region.
-func (t *Tree) HitsNode(x []float64, node int) bool {
+func (t *Tree) HitsNode(x []float64, target int) bool {
 	nodes := t.nodes
-	target := int32(node)
+	tgt := int32(target)
 	i := int32(0)
 	for {
-		if i == target {
+		if i == tgt {
 			return true
 		}
-		if nodes[i].left < 0 {
+		nd := nodes[i]
+		if nd.left < 0 {
 			return false
 		}
-		if x[nodes[i].feature] <= nodes[i].threshold {
-			i = nodes[i].left
+		if x[nd.feat] <= nd.thresh {
+			i = nd.left
 		} else {
-			i = nodes[i].right
+			i = nd.right
 		}
 	}
 }
@@ -345,8 +421,8 @@ func (t *Tree) Clone() *Tree {
 }
 
 // CloneInto copies t into dst, reusing dst's existing storage where capacity
-// allows — the flat node array is one slice copy, and the retained sample
-// matrix and leaf membership land in per-tree arenas, so a clone of a typical
+// allows — the node array is one slice copy, and the retained sample matrix
+// and leaf membership land in per-tree arenas, so a clone of a typical
 // planner-sized tree allocates nothing after the first use of a dst. Cloned
 // columns reserve a few samples of slack, so the one-sample Inserts the
 // speculation path applies right after cloning append in place.
@@ -391,10 +467,10 @@ func (t *Tree) CloneInto(dst *Tree) {
 		di.sampleArena = make([]int32, n)
 	}
 	sa := di.sampleArena[:0]
-	if cap(di.leafSamples) < len(t.nodes) {
-		di.leafSamples = make([][]int32, len(t.nodes))
+	if cap(di.leafSamples) < t.nodeCount() {
+		di.leafSamples = make([][]int32, t.nodeCount())
 	}
-	di.leafSamples = di.leafSamples[:len(t.nodes)]
+	di.leafSamples = di.leafSamples[:t.nodeCount()]
 	for ni := range di.leafSamples {
 		s := src.leafSamples[ni]
 		if s == nil {

@@ -259,8 +259,8 @@ func TestIncrementalTrackingSurvivesResplitChains(t *testing.T) {
 			sum += inc.targets[s]
 		}
 		want := sum / float64(len(members))
-		if math.Abs(tree.nodes[node].value-want) > 1e-9 {
-			t.Fatalf("leaf %d value %v, want member mean %v", node, tree.nodes[node].value, want)
+		if math.Abs(tree.nodes[node].thresh-want) > 1e-9 {
+			t.Fatalf("leaf %d value %v, want member mean %v", node, tree.nodes[node].thresh, want)
 		}
 	}
 	if counted != tree.Samples() {

@@ -48,22 +48,35 @@ func (p Params) withDefaults() Params {
 	return p
 }
 
-// node is a tree node; leaves carry the mean target of the samples they
-// cover, internal nodes carry an axis-aligned split.
+// node is one flattened tree node, packed into 24 bytes so a traversal step
+// touches a single cache line. The leaf value shares storage with the split
+// threshold — a node is never both — which is what keeps the struct this
+// small: left < 0 marks a leaf whose value lives in thresh; internal nodes
+// carry the split (feat, thresh) and both child indices. The left child is
+// explicit rather than implied by preorder because a leaf re-split (see
+// resplitLeaf) regrows a subtree at an interior slot with its descendants
+// appended at the end of the array.
 type node struct {
-	feature   int
-	threshold float64
-	left      *node
-	right     *node
-	leaf      bool
-	value     float64
+	thresh float64 // split threshold; the leaf value when left < 0
+	feat   int32   // feature index of the split; unused on leaves
+	left   int32   // left-child index; < 0 marks a leaf
+	right  int32   // right-child index; unused on leaves
 }
 
-// Tree is a trained regression tree. After training the nodes are flattened
-// into one contiguous slice, so predictions walk an index chain through a
-// single allocation instead of chasing heap pointers.
+// Tree is a trained regression tree in a flattened layout: nodes[i] is one
+// node, emitted in preorder by training (children always follow their
+// parent). Predictions walk an index chain through one contiguous array of
+// packed 24-byte nodes instead of chasing heap pointers, so every traversal
+// step costs one cache line. (An earlier structure-of-arrays split of the
+// node fields touched four lines per step and measurably lost to this
+// layout on full-space sweeps.)
+//
+// Trees are grown directly into the array — there is no intermediate
+// pointer representation — so an Arena-backed refit reuses the array of the
+// previous fit and allocates nothing in steady state.
 type Tree struct {
-	nodes       []flatNode
+	nodes []node
+
 	numFeatures int
 	leaves      int
 	depth       int
@@ -73,14 +86,76 @@ type Tree struct {
 	inc *incState
 }
 
-// flatNode is one node of the flattened tree; left < 0 marks a leaf carrying
-// value, internal nodes carry the split and the indices of their children.
-type flatNode struct {
-	threshold float64
-	value     float64
-	feature   int32
-	left      int32
-	right     int32
+// nodeCount returns the number of nodes of the flattened tree.
+func (t *Tree) nodeCount() int { return len(t.nodes) }
+
+// appendNode appends one zeroed node and returns its index. The entry is
+// written explicitly because reused array capacity still holds the previous
+// fit's nodes.
+func (t *Tree) appendNode() int32 {
+	i := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{})
+	return i
+}
+
+// reset clears the fitted state while keeping the array capacity for reuse.
+func (t *Tree) reset(numFeatures int) {
+	t.nodes = t.nodes[:0]
+	t.numFeatures = numFeatures
+	t.leaves = 0
+	t.depth = 0
+	t.inc = nil
+}
+
+// Arena owns the reusable training buffers of one trainer: the split scratch
+// (including the column-major transposed sample matrix) and the sample-index
+// permutation. Training through an arena reuses these across fits, so a
+// steady-state refit of same-sized data allocates nothing beyond first-time
+// node-array growth. An Arena is not safe for concurrent use; the trained
+// trees never retain arena memory, so the trees themselves are.
+type Arena struct {
+	scratch splitScratch
+	indices []int
+
+	// leafOf and leafCount back TrainIncremental's per-leaf sample
+	// bucketing (see buildIncState).
+	leafOf    []int32
+	leafCount []int32
+}
+
+// NewArena returns an empty training arena.
+func NewArena() *Arena { return &Arena{} }
+
+// ensure sizes the arena for a training set of the given shape, reusing
+// existing capacity where possible. The column headers are rebuilt every call
+// because the sample count (and therefore the column stride) changes.
+func (a *Arena) ensure(samples, numFeatures int) {
+	s := &a.scratch
+	if cap(s.colsFlat) < samples*numFeatures {
+		s.colsFlat = make([]float64, samples*numFeatures)
+	}
+	flat := s.colsFlat[:samples*numFeatures]
+	if cap(s.cols) < numFeatures {
+		s.cols = make([][]float64, numFeatures)
+	}
+	s.cols = s.cols[:numFeatures]
+	for f := range s.cols {
+		s.cols[f] = flat[f*samples : (f+1)*samples]
+	}
+	if cap(s.pairs) < samples {
+		s.pairs = make([]featTarget, samples)
+		s.prefixSum = make([]float64, samples+1)
+		s.prefixSq = make([]float64, samples+1)
+	}
+	if cap(s.features) < numFeatures {
+		s.features = make([]int, numFeatures)
+	}
+	if s.vals == nil {
+		s.vals = make([]valueAgg, 0, maxDistinctForBuckets)
+	}
+	if cap(a.indices) < samples {
+		a.indices = make([]int, samples)
+	}
 }
 
 // Train fits a regression tree to the given feature matrix and targets. Every
@@ -88,66 +163,104 @@ type flatNode struct {
 // len(targets). The rng is only used when Params.FeatureFraction < 1; it may
 // be nil otherwise.
 func Train(features [][]float64, targets []float64, params Params, rng *rand.Rand) (*Tree, error) {
+	t := &Tree{}
+	if err := NewArena().Train(t, features, targets, params, rng); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Train fits dst to the given samples exactly like the package-level Train —
+// identical structure, identical rng consumption — reusing both the arena's
+// scratch and dst's node arrays. dst's previous fitted state is replaced.
+func (a *Arena) Train(dst *Tree, features [][]float64, targets []float64, params Params, rng *rand.Rand) error {
 	if len(features) == 0 {
-		return nil, ErrNoTrainingData
+		return ErrNoTrainingData
 	}
 	if len(features) != len(targets) {
-		return nil, fmt.Errorf("regtree: %d feature rows but %d targets", len(features), len(targets))
+		return fmt.Errorf("regtree: %d feature rows but %d targets", len(features), len(targets))
 	}
 	numFeatures := len(features[0])
 	if numFeatures == 0 {
-		return nil, errors.New("regtree: feature rows are empty")
+		return errors.New("regtree: feature rows are empty")
 	}
 	for i, row := range features {
 		if len(row) != numFeatures {
-			return nil, fmt.Errorf("regtree: feature row %d has %d columns, want %d", i, len(row), numFeatures)
+			return fmt.Errorf("regtree: feature row %d has %d columns, want %d", i, len(row), numFeatures)
 		}
 	}
 	for i, y := range targets {
 		if math.IsNaN(y) || math.IsInf(y, 0) {
-			return nil, fmt.Errorf("regtree: target %d is not finite: %v", i, y)
+			return fmt.Errorf("regtree: target %d is not finite: %v", i, y)
 		}
 	}
 	params = params.withDefaults()
 	if params.FeatureFraction < 1 && rng == nil {
-		return nil, errors.New("regtree: rng required when FeatureFraction < 1")
+		return errors.New("regtree: rng required when FeatureFraction < 1")
 	}
 
-	indices := make([]int, len(features))
+	a.ensure(len(features), numFeatures)
+	indices := a.indices[:len(features)]
 	for i := range indices {
 		indices[i] = i
 	}
-	t := &Tree{numFeatures: numFeatures}
-	scratch := newSplitScratch(len(features), numFeatures)
 	// Transpose the features once: the split scans read one feature across
 	// many samples, so a column-major layout turns every read into a
 	// contiguous-slice access instead of a row-pointer chase.
 	for f := 0; f < numFeatures; f++ {
-		col := scratch.cols[f]
+		col := a.scratch.cols[f]
 		for i, row := range features {
 			col[i] = row[f]
 		}
 	}
-	root := t.grow(scratch.cols, targets, indices, params, rng, 1, scratch)
-	t.nodes = make([]flatNode, 0, 2*t.leaves-1)
-	t.flatten(root)
-	return t, nil
+	dst.reset(numFeatures)
+	root := dst.appendNode()
+	dst.growInto(root, a.scratch.cols, targets, indices, params, rng, 1, &a.scratch)
+	return nil
 }
 
-// flatten appends the subtree rooted at n to the node slice in preorder and
-// returns its index.
-func (t *Tree) flatten(n *node) int32 {
-	idx := int32(len(t.nodes))
-	if n.leaf {
-		t.nodes = append(t.nodes, flatNode{value: n.value, left: -1})
-		return idx
+// growInto fills the (already appended) node at index `at` with the subtree
+// covering the samples referenced by indices, appending any descendants to
+// the node arrays. The emitted order is preorder — each internal node is
+// immediately followed by its full left subtree, then its right subtree —
+// which is the layout the v1 snapshot format pins. It reports whether the
+// node became a split (false: it is a leaf).
+func (t *Tree) growInto(at int32, cols [][]float64, targets []float64, indices []int, params Params, rng *rand.Rand, depth int, scratch *splitScratch) bool {
+	if depth > t.depth {
+		t.depth = depth
 	}
-	t.nodes = append(t.nodes, flatNode{feature: int32(n.feature), threshold: n.threshold})
-	left := t.flatten(n.left)
-	right := t.flatten(n.right)
-	t.nodes[idx].left = left
-	t.nodes[idx].right = right
-	return idx
+	// One pass computes the leaf mean and the constant-target check.
+	first := targets[indices[0]]
+	sum := 0.0
+	constant := true
+	for _, idx := range indices {
+		y := targets[idx]
+		sum += y
+		if y != first {
+			constant = false
+		}
+	}
+	mean := sum / float64(len(indices))
+
+	mustLeaf := len(indices) < params.MinSamplesSplit ||
+		(params.MaxDepth > 0 && depth > params.MaxDepth) ||
+		constant
+	if !mustLeaf {
+		if feature, threshold, ok := t.bestSplit(cols, targets, indices, params, rng, scratch); ok {
+			left, right := partition(cols[feature], indices, threshold)
+			if len(left) >= params.MinLeafSize && len(right) >= params.MinLeafSize {
+				li := t.appendNode()
+				t.growInto(li, cols, targets, left, params, rng, depth+1, scratch)
+				ri := t.appendNode()
+				t.growInto(ri, cols, targets, right, params, rng, depth+1, scratch)
+				t.nodes[at] = node{thresh: threshold, feat: int32(feature), left: li, right: ri}
+				return true
+			}
+		}
+	}
+	t.nodes[at] = node{thresh: mean, left: -1}
+	t.leaves++
+	return false
 }
 
 // featTarget pairs one sample's value along the split feature with its
@@ -182,6 +295,7 @@ type splitScratch struct {
 	features  []int
 	vals      []valueAgg
 	cols      [][]float64
+	colsFlat  []float64
 }
 
 func newSplitScratch(samples, numFeatures int) *splitScratch {
@@ -197,45 +311,8 @@ func newSplitScratch(samples, numFeatures int) *splitScratch {
 		features:  make([]int, numFeatures),
 		vals:      make([]valueAgg, 0, maxDistinctForBuckets),
 		cols:      cols,
+		colsFlat:  flat,
 	}
-}
-
-// grow recursively builds the tree over the samples referenced by indices.
-func (t *Tree) grow(cols [][]float64, targets []float64, indices []int, params Params, rng *rand.Rand, depth int, scratch *splitScratch) *node {
-	if depth > t.depth {
-		t.depth = depth
-	}
-	// One pass computes the leaf mean and the constant-target check.
-	first := targets[indices[0]]
-	sum := 0.0
-	constant := true
-	for _, idx := range indices {
-		y := targets[idx]
-		sum += y
-		if y != first {
-			constant = false
-		}
-	}
-	mean := sum / float64(len(indices))
-
-	mustLeaf := len(indices) < params.MinSamplesSplit ||
-		(params.MaxDepth > 0 && depth > params.MaxDepth) ||
-		constant
-	if !mustLeaf {
-		if feature, threshold, ok := t.bestSplit(cols, targets, indices, params, rng, scratch); ok {
-			left, right := partition(cols[feature], indices, threshold)
-			if len(left) >= params.MinLeafSize && len(right) >= params.MinLeafSize {
-				return &node{
-					feature:   feature,
-					threshold: threshold,
-					left:      t.grow(cols, targets, left, params, rng, depth+1, scratch),
-					right:     t.grow(cols, targets, right, params, rng, depth+1, scratch),
-				}
-			}
-		}
-	}
-	t.leaves++
-	return &node{leaf: true, value: mean}
 }
 
 // bestSplit finds the axis-aligned split that minimizes the total sum of
@@ -420,7 +497,7 @@ func partition(col []float64, indices []int, threshold float64) (left, right []i
 
 // Predict returns the tree's estimate for the given feature vector.
 func (t *Tree) Predict(x []float64) (float64, error) {
-	if t == nil || len(t.nodes) == 0 {
+	if t == nil || t.nodeCount() == 0 {
 		return 0, errors.New("regtree: predict on untrained tree")
 	}
 	if len(x) != t.numFeatures {
@@ -436,25 +513,27 @@ func (t *Tree) Predict(x []float64) (float64, error) {
 func (t *Tree) PredictUnchecked(x []float64) float64 {
 	nodes := t.nodes
 	i := int32(0)
-	for nodes[i].left >= 0 {
-		if x[nodes[i].feature] <= nodes[i].threshold {
-			i = nodes[i].left
+	for {
+		nd := nodes[i]
+		if nd.left < 0 {
+			return nd.thresh
+		}
+		if x[nd.feat] <= nd.thresh {
+			i = nd.left
 		} else {
-			i = nodes[i].right
+			i = nd.right
 		}
 	}
-	return nodes[i].value
 }
 
 // PredictBatch predicts every point of a column-major feature matrix:
 // cols[f][i] is feature f of point i, and the estimate of point i is written
 // to out[i]. Inputs are validated once for the whole batch and the sweep
-// allocates nothing. It is the tree-level batch API for callers sweeping a
-// single tree; the bagging ensemble's own batch sweep instead gathers each
-// point into a row and walks the trees via PredictUnchecked, which measured
-// faster for its small cache-resident trees (see bagging.PredictBatch).
+// allocates nothing. The bagging ensemble's batch sweep does not use this
+// form: it gathers each point into a row and runs PredictUnchecked, so one
+// gather is shared by all trees of the ensemble.
 func (t *Tree) PredictBatch(cols [][]float64, out []float64) error {
-	if t == nil || len(t.nodes) == 0 {
+	if t == nil || t.nodeCount() == 0 {
 		return errors.New("regtree: predict on untrained tree")
 	}
 	if len(cols) != t.numFeatures {
@@ -469,16 +548,68 @@ func (t *Tree) PredictBatch(cols [][]float64, out []float64) error {
 	nodes := t.nodes
 	for i := 0; i < n; i++ {
 		j := int32(0)
-		for nodes[j].left >= 0 {
-			if cols[nodes[j].feature][i] <= nodes[j].threshold {
-				j = nodes[j].left
+		for {
+			nd := nodes[j]
+			if nd.left < 0 {
+				out[i] = nd.thresh
+				break
+			}
+			if cols[nd.feat][i] <= nd.thresh {
+				j = nd.left
 			} else {
-				j = nodes[j].right
+				j = nd.right
 			}
 		}
-		out[i] = nodes[j].value
 	}
 	return nil
+}
+
+// NodeValue returns the leaf value of the given node and whether the node is
+// a leaf. Interior nodes return (0, false). The bagging ensemble's memo
+// repair uses it to read the post-insert value of an updated leaf without a
+// traversal.
+func (t *Tree) NodeValue(node int) (float64, bool) {
+	if node < 0 || node >= len(t.nodes) {
+		return 0, false
+	}
+	nd := t.nodes[node]
+	if nd.left >= 0 {
+		return 0, false
+	}
+	return nd.thresh, true
+}
+
+// PredictFromUnchecked walks the subtree rooted at the given node index and
+// returns its estimate for x. Like PredictUnchecked, no validation happens:
+// the caller must guarantee the tree is trained, the node index is in range,
+// and len(x) == NumFeatures(). The bagging ensemble's memo repair uses it to
+// re-predict points through a re-split leaf's regrown subtree without
+// re-walking from the root.
+func (t *Tree) PredictFromUnchecked(node int, x []float64) float64 {
+	v, _ := t.PredictLeafFromUnchecked(node, x)
+	return v
+}
+
+// PredictLeafFromUnchecked is PredictFromUnchecked returning, alongside the
+// estimate, the index of the leaf the walk ended on. The bagging ensemble's
+// memo repair keeps a per-point leaf-index matrix so that the points covered
+// by an updated leaf are found by one equality scan instead of re-filtering
+// the whole batch through the leaf's root path; this accessor both seeds
+// that matrix (node 0) and refreshes it through regrown subtrees.
+func (t *Tree) PredictLeafFromUnchecked(node int, x []float64) (float64, int32) {
+	nodes := t.nodes
+	i := int32(node)
+	for {
+		nd := nodes[i]
+		if nd.left < 0 {
+			return nd.thresh, i
+		}
+		if x[nd.feat] <= nd.thresh {
+			i = nd.left
+		} else {
+			i = nd.right
+		}
+	}
 }
 
 // NumFeatures returns the number of input features the tree was trained on.

@@ -29,19 +29,28 @@ type TreeState struct {
 	Depth       int         `json:"depth"`
 }
 
-// State extracts the serializable fitted state of the tree.
+// State extracts the serializable fitted state of the tree. The emitted node
+// list is the flattened preorder layout regardless of the in-memory
+// representation, so the v1 snapshot format is unchanged by the
+// structure-of-arrays storage.
 func (t *Tree) State() (TreeState, error) {
-	if len(t.nodes) == 0 {
+	if t.nodeCount() == 0 {
 		return TreeState{}, errors.New("regtree: cannot serialize an untrained tree")
 	}
-	nodes := make([]NodeState, len(t.nodes))
-	for i, n := range t.nodes {
+	nodes := make([]NodeState, t.nodeCount())
+	for i, nd := range t.nodes {
+		if nd.left < 0 {
+			// Leaves carry their value in the packed node's thresh field;
+			// the emitted form keeps the v1 convention (Feature/Threshold
+			// zero, Left = -1) so snapshots stay bitwise identical.
+			nodes[i] = NodeState{Left: -1, Value: nd.thresh}
+			continue
+		}
 		nodes[i] = NodeState{
-			Feature:   n.feature,
-			Threshold: n.threshold,
-			Left:      n.left,
-			Right:     n.right,
-			Value:     n.value,
+			Feature:   nd.feat,
+			Threshold: nd.thresh,
+			Left:      nd.left,
+			Right:     nd.right,
 		}
 	}
 	return TreeState{
@@ -63,22 +72,28 @@ func FromState(s TreeState) (*Tree, error) {
 		return nil, fmt.Errorf("regtree: tree state has %d features", s.NumFeatures)
 	}
 	n := int32(len(s.Nodes))
-	nodes := make([]flatNode, len(s.Nodes))
+	t := &Tree{
+		nodes:       make([]node, len(s.Nodes)),
+		numFeatures: s.NumFeatures,
+		leaves:      s.Leaves,
+		depth:       s.Depth,
+	}
 	for i, ns := range s.Nodes {
 		if ns.Left < 0 {
-			// Leaf: only the value matters.
+			// Leaf: only the value matters, stored in the packed node's
+			// thresh field.
 			if math.IsNaN(ns.Value) || math.IsInf(ns.Value, 0) {
 				return nil, fmt.Errorf("regtree: leaf %d has non-finite value %v", i, ns.Value)
 			}
-			nodes[i] = flatNode{value: ns.Value, left: -1}
+			t.nodes[i] = node{thresh: ns.Value, left: -1}
 			continue
 		}
 		if ns.Left >= n || ns.Right < 0 || ns.Right >= n {
 			return nil, fmt.Errorf("regtree: node %d has child indices (%d, %d) outside [0, %d)", i, ns.Left, ns.Right, n)
 		}
 		if int(ns.Left) <= i || int(ns.Right) <= i {
-			// The flattened layout is preorder: children always follow their
-			// parent, which also rules out traversal cycles.
+			// The flattened layout keeps children after their parent, which
+			// also rules out traversal cycles.
 			return nil, fmt.Errorf("regtree: node %d has non-preorder child indices (%d, %d)", i, ns.Left, ns.Right)
 		}
 		if ns.Feature < 0 || int(ns.Feature) >= s.NumFeatures {
@@ -87,17 +102,7 @@ func FromState(s TreeState) (*Tree, error) {
 		if math.IsNaN(ns.Threshold) {
 			return nil, fmt.Errorf("regtree: node %d has NaN threshold", i)
 		}
-		nodes[i] = flatNode{
-			feature:   ns.Feature,
-			threshold: ns.Threshold,
-			left:      ns.Left,
-			right:     ns.Right,
-		}
+		t.nodes[i] = node{thresh: ns.Threshold, feat: ns.Feature, left: ns.Left, right: ns.Right}
 	}
-	return &Tree{
-		nodes:       nodes,
-		numFeatures: s.NumFeatures,
-		leaves:      s.Leaves,
-		depth:       s.Depth,
-	}, nil
+	return t, nil
 }

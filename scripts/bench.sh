@@ -3,15 +3,26 @@
 #
 # Usage:
 #   scripts/bench.sh                 # writes BENCH.json in the repo root
+#   BENCH_MULTICORE=1 scripts/bench.sh
+#                                    # all-cores run, writes BENCH.multicore.json
 #   BENCH_PATTERN=. BENCH_TIME=1x BENCH_COUNT=3 \
 #   scripts/bench.sh out.json        # CI smoke: every benchmark, 3 repetitions
+#
+# The default mode pins GOMAXPROCS=1 so the committed BENCH.json medians are
+# comparable across machines with different core counts; BENCH_MULTICORE=1
+# lifts the pin (all cores) and defaults the output to BENCH.multicore.json,
+# the baseline for the workers=N scaling numbers. benchjson tags every report
+# with the GOMAXPROCS it ran under and the machine's core count, so the two
+# baselines are distinguishable by their own contents.
 #
 # The default set is the perf-tracked benchmarks reported in README
 # "Performance": the per-decision LA=2 planner (full vs incremental
 # speculative refits) and LA=3 planner on the 384-point Tensorflow space,
 # each across workers 1/2/4/8 (these live in internal/core, where one op is
 # exactly one planning decision, so b.N >= 3 at default benchtime), the
-# ensemble fit+full-space-sweep microbenchmark, the large-space planner
+# ensemble fit+full-space-sweep microbenchmark, the incremental refit
+# microbenchmark (clone+update of one sample through a warm ensemble, the
+# per-outcome unit of the lookahead simulation), the large-space planner
 # (sampled strategy over 15k-246k-point streaming spaces), and the stochastic
 # serving-cluster campaign (LA=2 incremental on the simulated LLM inference
 # cluster), and the checkpointing path (snapshot serialization and
@@ -27,8 +38,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH.json}"
-PATTERN="${BENCH_PATTERN:-BenchmarkPlannerLA2Tensorflow|BenchmarkPlannerLA3Tensorflow|BenchmarkEnsembleFitPredict|BenchmarkFullSpaceSweep|BenchmarkLargeSpaceDecision|BenchmarkServesimDecision|BenchmarkSnapshotRestore}"
+if [ "${BENCH_MULTICORE:-0}" = "1" ]; then
+	OUT="${1:-BENCH.multicore.json}"
+else
+	OUT="${1:-BENCH.json}"
+	GOMAXPROCS=1
+	export GOMAXPROCS
+fi
+PATTERN="${BENCH_PATTERN:-BenchmarkPlannerLA2Tensorflow|BenchmarkPlannerLA3Tensorflow|BenchmarkEnsembleFitPredict|BenchmarkEnsembleRefitIncremental|BenchmarkFullSpaceSweep|BenchmarkLargeSpaceDecision|BenchmarkServesimDecision|BenchmarkSnapshotRestore}"
 BENCHTIME="${BENCH_TIME:-1s}"
 COUNT="${BENCH_COUNT:-3}"
 
