@@ -18,9 +18,10 @@
 // With -compare, benchjson instead reads two reports and exits non-zero when
 // a tracked metric regressed by more than -threshold percent: "ns/decision",
 // "allocs/op" and "B/op" on every planner benchmark (any benchmark reporting
-// ns/decision), and "ns/op", "allocs/op" and "B/op" on the
-// BenchmarkEnsembleFitPredict / BenchmarkEnsembleRefitIncremental cost-model
-// microbenchmarks. A zero baseline for the allocation metrics acts as a
+// ns/decision), "ns/campaign" plus the allocation metrics on the batch
+// throughput benchmark (any benchmark reporting ns/campaign), and "ns/op",
+// "allocs/op" and "B/op" on the BenchmarkEnsembleFitPredict /
+// BenchmarkEnsembleRefitIncremental cost-model microbenchmarks. A zero baseline for the allocation metrics acts as a
 // ratchet: any fresh allocation on a path the baseline records as
 // allocation-free is a regression regardless of the percent threshold. Each
 // comparison line records the iteration counts (b.N) the two sides were
@@ -33,7 +34,12 @@
 // machine's core count, so a multi-core BENCH file is distinguishable from
 // the single-core baseline at a glance; benchmark names are normalized with
 // the suffix stripped so the same benchmark matches across reports recorded
-// at different parallelism.
+// at different parallelism. The -multicore flag declares the intent of the
+// run: when the machine (or GOMAXPROCS) could not actually execute the
+// benchmarks in parallel, the report is stamped with a warning so the file
+// itself says its scaling numbers are meaningless, and -compare warns
+// whenever the two sides differ in GOMAXPROCS or core count or either
+// carries such a stamp.
 package main
 
 import (
@@ -78,7 +84,12 @@ type Report struct {
 	Gomaxprocs int `json:"gomaxprocs,omitempty"`
 	// Cores is the logical core count of the machine benchjson converted the
 	// results on (bench.sh runs the conversion on the bench machine).
-	Cores      int         `json:"cores,omitempty"`
+	Cores int `json:"cores,omitempty"`
+	// Warning marks a report whose numbers cannot mean what its name claims —
+	// currently a -multicore conversion recorded on a single-core machine (or
+	// with GOMAXPROCS pinned to 1). It is stamped into the JSON so the defect
+	// travels with the file, and -compare repeats it for both sides.
+	Warning    string      `json:"warning,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
@@ -94,6 +105,7 @@ func run() error {
 	compare := flag.String("compare", "", "baseline report: compare -against it instead of converting stdin")
 	against := flag.String("against", "", "fresh report compared to the -compare baseline")
 	threshold := flag.Float64("threshold", 20, "maximum tolerated slowdown in percent for -compare")
+	multicore := flag.Bool("multicore", false, "the input claims to be an all-cores run: annotate the report with a warning when the machine or GOMAXPROCS could not actually run it in parallel")
 	flag.Parse()
 
 	if *compare != "" {
@@ -108,6 +120,17 @@ func run() error {
 		return err
 	}
 	report.Benchmarks = mergeRuns(report.Benchmarks)
+	if *multicore {
+		switch {
+		case report.Cores <= 1:
+			report.Warning = fmt.Sprintf("multicore report recorded on a %d-core machine: the parallel-scaling numbers are indistinguishable from the serial baseline", report.Cores)
+		case report.Gomaxprocs <= 1:
+			report.Warning = fmt.Sprintf("multicore report ran with GOMAXPROCS=1 on a %d-core machine: the benchmarks never executed in parallel", report.Cores)
+		}
+		if report.Warning != "" {
+			fmt.Fprintln(os.Stderr, "benchjson: WARNING:", report.Warning)
+		}
+	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -187,13 +210,19 @@ func median(values []float64) float64 {
 // planner benchmark (identified by reporting ns/decision — the planner hot
 // path is where allocation creep turns into GC pauses mid-decision; gating
 // B/op alongside allocs/op catches a path that allocates the same number of
-// ever-fatter buffers), and raw ns/op plus the same allocation metrics for
-// the cost-model fit/sweep/refit microbenchmarks.
+// ever-fatter buffers), per-campaign wall time plus the allocation metrics on
+// the batch throughput benchmark (identified by reporting ns/campaign), and
+// raw ns/op plus the same allocation metrics for the cost-model
+// fit/sweep/refit microbenchmarks.
 func trackedMetrics(b Benchmark) []string {
 	units := make([]string, 0, 4)
 	tracked := false
 	if _, ok := b.Metrics["ns/decision"]; ok {
 		units = append(units, "ns/decision")
+		tracked = true
+	}
+	if _, ok := b.Metrics["ns/campaign"]; ok {
+		units = append(units, "ns/campaign")
 		tracked = true
 	}
 	if strings.HasPrefix(b.Name, "BenchmarkEnsembleFitPredict") ||
@@ -236,6 +265,10 @@ func compareReports(basePath, freshPath string, threshold float64) error {
 	for _, b := range base.Benchmarks {
 		baseline[key(b)] = b
 	}
+	// A comparison across different parallelism or hardware is not a like-for-
+	// like comparison; say so loudly (both on stdout, next to the verdict
+	// lines, and on stderr, which survives CI log folding) but still run the
+	// gate — the caller chose the inputs.
 	baseProcs, freshProcs := base.Gomaxprocs, fresh.Gomaxprocs
 	if baseProcs == 0 {
 		baseProcs = 1
@@ -243,9 +276,22 @@ func compareReports(basePath, freshPath string, threshold float64) error {
 	if freshProcs == 0 {
 		freshProcs = 1
 	}
+	warn := func(format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		fmt.Println("WARNING:", msg)
+		fmt.Fprintln(os.Stderr, "benchjson: WARNING:", msg)
+	}
 	if baseProcs != freshProcs {
-		fmt.Printf("note: comparing GOMAXPROCS=%d fresh results against a GOMAXPROCS=%d baseline\n",
-			freshProcs, baseProcs)
+		warn("comparing GOMAXPROCS=%d fresh results against a GOMAXPROCS=%d baseline — slowdown percentages conflate code changes with parallelism", freshProcs, baseProcs)
+	}
+	if base.Cores != 0 && fresh.Cores != 0 && base.Cores != fresh.Cores {
+		warn("comparing a %d-core machine's results against a %d-core baseline — the reports were not recorded on comparable hardware", fresh.Cores, base.Cores)
+	}
+	if base.Warning != "" {
+		warn("baseline %s carries a warning: %s", basePath, base.Warning)
+	}
+	if fresh.Warning != "" {
+		warn("fresh report %s carries a warning: %s", freshPath, fresh.Warning)
 	}
 	regressions := 0
 	for _, b := range fresh.Benchmarks {

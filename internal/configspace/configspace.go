@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 )
 
 // ErrEmptySpace is returned when a space would contain no configuration.
@@ -120,6 +121,13 @@ type Space struct {
 	// filter; nil when the space is the unfiltered cross-product (the common
 	// production case), in which case ID == flat index.
 	accepted []int64
+
+	// digest memoizes Digest(). A Space is immutable after construction, so
+	// the hash is computed at most once; the Once makes the lazy computation
+	// safe under concurrent first calls (the cross-campaign sharing layer
+	// interns spaces from many goroutines).
+	digestOnce sync.Once
+	digestHex  string
 }
 
 // validateDims checks the dimension list shared by both constructors and

@@ -1,0 +1,144 @@
+package configspace
+
+import (
+	"sync"
+	"testing"
+)
+
+func digestDims() []Dimension {
+	return []Dimension{
+		{Name: "n", Values: []float64{1, 2, 4}},
+		{Name: "hw", Values: []float64{0, 1}, Labels: []string{"cpu", "gpu"}},
+		{Name: "batch", Values: []float64{16, 32}},
+	}
+}
+
+func TestDigestEqualForEqualSpaces(t *testing.T) {
+	a, err := New(digestDims(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(digestDims(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatalf("equal spaces disagree: %s vs %s", a.Digest(), b.Digest())
+	}
+	if a.Digest() == "" {
+		t.Fatal("empty digest")
+	}
+	// Memoized: repeated calls return the identical string.
+	if a.Digest() != a.Digest() {
+		t.Fatal("digest not stable across calls")
+	}
+}
+
+func TestDigestSeparatesContent(t *testing.T) {
+	base, err := New(digestDims(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Different dimension values.
+	dims := digestDims()
+	dims[0].Values = []float64{1, 2, 8}
+	valDiff, err := New(dims, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valDiff.Digest() == base.Digest() {
+		t.Fatal("different values share a digest")
+	}
+
+	// Different labels over the same values.
+	dims = digestDims()
+	dims[1].Labels = []string{"cpu", "tpu"}
+	labelDiff, err := New(dims, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labelDiff.Digest() == base.Digest() {
+		t.Fatal("different labels share a digest")
+	}
+
+	// A filter that keeps everything hashes like no filter at all: the
+	// configuration set is identical.
+	keepAll, err := New(digestDims(), func(indices []int) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keepAll.Digest() != base.Digest() {
+		t.Fatal("keep-all filter changed the digest despite identical configs")
+	}
+
+	// A filter that drops points must change the digest.
+	filtered, err := New(digestDims(), func(indices []int) bool { return indices[0] != 1 }) // drop n=2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filtered.Digest() == base.Digest() {
+		t.Fatal("filtered space shares the unfiltered digest")
+	}
+}
+
+func TestDigestSeparatesRepresentations(t *testing.T) {
+	mat, err := New(digestDims(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := NewStreaming(digestDims(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.Digest() == stream.Digest() {
+		t.Fatal("materialized and streaming spaces share a digest")
+	}
+
+	stream2, err := NewStreaming(digestDims(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.Digest() != stream2.Digest() {
+		t.Fatal("equal streaming spaces disagree")
+	}
+
+	// Filtered streaming spaces hash the accepted set.
+	fs1, err := NewStreaming(digestDims(), func(indices []int) bool { return indices[2] == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := NewStreaming(digestDims(), func(indices []int) bool { return indices[2] == 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs1.Digest() == fs2.Digest() {
+		t.Fatal("different streaming filters share a digest")
+	}
+	if fs1.Digest() == stream.Digest() {
+		t.Fatal("filtered streaming space shares the unfiltered digest")
+	}
+}
+
+func TestDigestConcurrentFirstCall(t *testing.T) {
+	s, err := New(digestDims(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	out := make([]string, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = s.Digest()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if out[i] != out[0] {
+			t.Fatalf("goroutine %d saw digest %s, goroutine 0 saw %s", i, out[i], out[0])
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestArenaPoolCheckoutReleaseRecycles(t *testing.T) {
+	p := newArenaPool(2)
+	s := newSpecScheduler(2)
+	w0, w1 := s.workers[0], s.workers[1]
+
+	a := p.checkout("shape-a", w0)
+	ws := a.acquire(w0)
+	a.release(w0, ws)
+	p.release(a, w0)
+	if got := p.retained(); got != 1 {
+		t.Fatalf("retained = %d, want 1", got)
+	}
+
+	// The recycled arena comes back (warm freelist) — to any worker.
+	b := p.checkout("shape-a", w1)
+	if b != a {
+		t.Fatal("shelved arena was not recycled")
+	}
+	ws2 := b.acquire(w1)
+	if ws2 != ws {
+		t.Fatal("recycled arena lost its warm workspace")
+	}
+	b.release(w1, ws2)
+	p.release(b, w1)
+
+	// A different shape never shares a shelf.
+	c := p.checkout("shape-b", w0)
+	if c == a {
+		t.Fatal("arena crossed shapes")
+	}
+	p.release(c, w0)
+}
+
+func TestArenaPoolRetentionBound(t *testing.T) {
+	p := newArenaPool(2)
+	s := newSpecScheduler(4)
+	arenas := make([]*wsArena, 4)
+	for i := range arenas {
+		arenas[i] = p.checkout("s", s.workers[i])
+	}
+	for i := range arenas {
+		p.release(arenas[i], s.workers[i])
+	}
+	if got := p.retained(); got != 2 {
+		t.Fatalf("retained = %d, want the limit 2", got)
+	}
+}
+
+func TestArenaOwnershipEnforced(t *testing.T) {
+	p := newArenaPool(1)
+	s := newSpecScheduler(2)
+	w0, w1 := s.workers[0], s.workers[1]
+	a := p.checkout("s", w0)
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("foreign acquire", func() { a.acquire(w1) })
+	mustPanic("foreign pool release", func() { p.release(a, w1) })
+	p.release(a, w0)
+	mustPanic("released-arena acquire", func() { a.acquire(w0) })
+}
+
+// TestSharedSchedulerSwapsArenasPerRun checks that a pool-wired scheduler
+// draws pooled arenas during run and restores the private ones after.
+func TestSharedSchedulerSwapsArenasPerRun(t *testing.T) {
+	s := newSpecScheduler(2)
+	s.pool = newArenaPool(8)
+	s.shape = "s"
+	var ran atomic.Int64
+	s.run(2, func(w *specWorker, i int) {
+		if w.arena == w.private {
+			t.Error("run with a pool still used the private arena")
+		}
+		ws := w.acquireWorkspace()
+		w.releaseWorkspace(ws)
+		ran.Add(1)
+	})
+	for _, w := range s.workers {
+		if w.arena != w.private {
+			t.Fatal("private arena not restored after run")
+		}
+	}
+	if s.pool.retained() == 0 {
+		t.Fatal("no arena returned to the pool after run")
+	}
+	if ran.Load() != 2 {
+		t.Fatalf("ran %d root bodies, want 2", ran.Load())
+	}
+}

@@ -33,6 +33,13 @@ type Campaign struct {
 // history trackers, the LHS bootstrap plan, and the planner. No trial runs
 // until the first Step.
 func (l *Lynceus) NewCampaign(env optimizer.Environment, opts optimizer.Options) (*Campaign, error) {
+	return l.newCampaign(env, opts, nil)
+}
+
+// newCampaign is the shared construction path of NewCampaign and
+// NewCampaignShared; sh carries the campaign's share-group binding (nil
+// outside a group).
+func (l *Lynceus) newCampaign(env optimizer.Environment, opts optimizer.Options, sh *sharedCtx) (*Campaign, error) {
 	if env == nil {
 		return nil, errors.New("core: nil environment")
 	}
@@ -55,7 +62,7 @@ func (l *Lynceus) NewCampaign(env optimizer.Environment, opts optimizer.Options)
 	if err != nil {
 		return nil, err
 	}
-	planner, err := newPlanner(l.params, env, opts)
+	planner, err := newPlannerShared(l.params, env, opts, sh)
 	if err != nil {
 		return nil, err
 	}

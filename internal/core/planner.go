@@ -10,6 +10,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/numeric"
 	"repro/internal/optimizer"
+	"repro/internal/share"
 )
 
 // planner implements the configuration-selection logic of Algorithms 1 and 2:
@@ -61,6 +62,15 @@ type planner struct {
 	// overhead: deeper subtrees shrink geometrically.
 	forkDepth int
 
+	// shared is the campaign's share-group binding (nil outside a group).
+	// When set, prices comes from the group's per-environment cache, the
+	// scheduler draws arenas from the group pool (incremental mode), and —
+	// for key-capturable configurations, see sharable — nextConfig adopts
+	// and publishes fitted root models and whole decisions through the
+	// group caches. keyBuf is the reusable cache-key assembly buffer.
+	shared *sharedCtx
+	keyBuf []byte
+
 	// Per-decision scratch rebuilt by nextConfig; read-only during the
 	// parallel path-evaluation fan-out.
 	featArena  []float64            // backing store of streaming-space candidate features
@@ -82,6 +92,14 @@ func resolveRefitMode(mode SpeculativeRefit, lookahead, candidateBound int) Spec
 }
 
 func newPlanner(params Params, env optimizer.Environment, opts optimizer.Options) (*planner, error) {
+	return newPlannerShared(params, env, opts, nil)
+}
+
+// newPlannerShared is newPlanner bound to a share group: the planner reads
+// unit prices through the group's shared per-environment cache and, in
+// incremental mode, checks its workspace arenas out of the group pool per
+// scheduler run instead of holding private ones.
+func newPlannerShared(params Params, env optimizer.Environment, opts optimizer.Options, sh *sharedCtx) (*planner, error) {
 	space := env.Space()
 	strategy := resolveStrategy(params.Search, space.Size())
 	mode := resolveRefitMode(params.SpeculativeRefit, params.Lookahead, strategyCandidateBound(strategy, space.Size()))
@@ -110,8 +128,16 @@ func newPlanner(params Params, env optimizer.Environment, opts optimizer.Options
 		refitMode: mode,
 		prices:    optimizer.NewPriceCache(env),
 		sched:     newSpecScheduler(params.Workers),
+		shared:    sh,
+	}
+	if sh != nil {
+		p.prices = sh.prices
 	}
 	if mode == SpecRefitIncremental {
+		if sh != nil {
+			p.sched.pool = sh.group.arenas
+			p.sched.shape = p.arenaShape()
+		}
 		if z, err := numeric.NormalQuantile(params.EligibilityProb); err == nil {
 			p.eligZ, p.eligUseZ = z, true
 		}
@@ -185,6 +211,26 @@ func (p *planner) gatherCols(cands []candidate) [][]float64 {
 		p.colsBuf = make([]float64, d*n)
 	}
 	buf := p.colsBuf[:d*n]
+	cols := make([][]float64, d)
+	for k := range cols {
+		cols[k] = buf[k*n : (k+1)*n]
+	}
+	for i, c := range cands {
+		for k := 0; k < d; k++ {
+			cols[k][i] = c.features[k]
+		}
+	}
+	return cols
+}
+
+// gatherColsOwned is gatherCols with freshly allocated backing: used when the
+// resulting matrix may be published to the share group's model cache, where
+// later decisions of this planner must not overwrite it through the reused
+// colsBuf (a published model set's prediction memos alias these columns).
+func (p *planner) gatherColsOwned(cands []candidate) [][]float64 {
+	d := p.space.NumDimensions()
+	n := len(cands)
+	buf := make([]float64, d*n)
 	cols := make([][]float64, d)
 	for k := range cols {
 		cols[k] = buf[k*n : (k+1)*n]
@@ -834,7 +880,13 @@ func extraMemosOf(ms *modelSet) [][]numeric.Gaussian {
 		if em == nil {
 			return nil
 		}
-		ms.extraMemos[k] = em
+		// Skip the write when the memo array has not moved: a published
+		// model set's extraMemos are prewarmed by its publisher, and every
+		// later (possibly concurrent) caller re-derives the identical view —
+		// writing it back would be a data race between adopters.
+		if !sameGaussians(ms.extraMemos[k], em) {
+			ms.extraMemos[k] = em
+		}
 	}
 	return ms.extraMemos
 }
@@ -1189,6 +1241,37 @@ func (p *planner) nextConfig(h *optimizer.History, remainingBudget float64) (con
 	if err != nil {
 		return configspace.Config{}, false, err
 	}
+
+	// Cross-campaign sharing: when every planning input is captured by the
+	// cache keys (see sharable and shareKeys), an identical campaign's
+	// published decision is adopted outright, and concurrent identical
+	// campaigns single-flight the computation — one leader plans, the
+	// replicas block briefly and adopt. Equal keys imply bitwise-equal
+	// outcomes, so adoption preserves the isolated-run trial sequence.
+	var modelKey string
+	var claim *share.Claim[sharedDecision]
+	if p.sharable() {
+		var decisionKey string
+		modelKey, decisionKey = p.shareKeys(h, remainingBudget, extraNames, untested)
+		dec, cl := p.shared.group.decisions.GetOrClaim(decisionKey)
+		if cl == nil {
+			p.iteration++
+			if !dec.ok {
+				return configspace.Config{}, false, nil
+			}
+			best, err := p.space.Config(dec.id)
+			if err != nil {
+				return configspace.Config{}, false, err
+			}
+			return best, true, nil
+		}
+		claim = cl
+		// The leader publishes at every definitive exit below; on error
+		// paths the deferred Abandon (a no-op after Publish) wakes blocked
+		// followers to re-elect instead of deadlocking them.
+		defer claim.Abandon()
+	}
+
 	p.activeCfgs = p.activeCfgs[:0]
 	if p.opts.SetupCost != nil {
 		// Config views, not clones: on materialized spaces the active set
@@ -1203,26 +1286,55 @@ func (p *planner) nextConfig(h *optimizer.History, remainingBudget float64) (con
 		}
 	}
 
-	rootModels := p.newModelSet(int64(p.iteration)*2_000_000_011, len(untested))
-	p.iteration++
-	// Fit, then populate the root prediction memo up front: every later
-	// root-model prediction (eligibility, incumbent fallback, per-path root
-	// EIc) becomes a read-only lookup, which keeps the shared root model set
-	// race-free during the parallel fan-out. The production path sweeps the
-	// candidate set in one batch per model; the scalar reference path
-	// predicts the candidates one by one on the worker pool.
-	if err := rootModels.fit(train); err != nil {
-		return configspace.Config{}, false, err
+	// An identical campaign may have published this decision's fitted,
+	// fully-prefilled root model set; adopting it (read-only, with the
+	// publisher's owned column matrix) skips the fit and prefill entirely.
+	var rootModels *modelSet
+	adoptedModels := false
+	if modelKey != "" {
+		if sm, ok := p.shared.group.models.Get(modelKey); ok {
+			rootModels = sm.ms
+			p.activeCols = sm.cols
+			adoptedModels = true
+		}
 	}
-	if p.params.DisableBatchPredict || !rootModels.supportsBatch() {
-		p.activeCols = nil
-		if err := rootModels.prefillScalar(untested, p.params.Workers); err != nil {
+	if !adoptedModels {
+		rootModels = p.newModelSet(int64(p.iteration)*2_000_000_011, len(untested))
+	}
+	p.iteration++
+	if !adoptedModels {
+		// Fit, then populate the root prediction memo up front: every later
+		// root-model prediction (eligibility, incumbent fallback, per-path root
+		// EIc) becomes a read-only lookup, which keeps the shared root model set
+		// race-free during the parallel fan-out. The production path sweeps the
+		// candidate set in one batch per model; the scalar reference path
+		// predicts the candidates one by one on the worker pool.
+		if err := rootModels.fit(train); err != nil {
 			return configspace.Config{}, false, err
 		}
-	} else {
-		p.activeCols = p.gatherCols(untested)
-		if err := rootModels.prefillBatch(p.activeCols); err != nil {
-			return configspace.Config{}, false, err
+		if p.params.DisableBatchPredict || !rootModels.supportsBatch() {
+			p.activeCols = nil
+			if err := rootModels.prefillScalar(untested, p.params.Workers); err != nil {
+				return configspace.Config{}, false, err
+			}
+		} else {
+			if modelKey != "" {
+				// Freshly-backed columns: the published set's memos alias
+				// them, and the reusable colsBuf would be overwritten by
+				// this planner's next decision under the adopters.
+				p.activeCols = p.gatherColsOwned(untested)
+			} else {
+				p.activeCols = p.gatherCols(untested)
+			}
+			if err := rootModels.prefillBatch(p.activeCols); err != nil {
+				return configspace.Config{}, false, err
+			}
+		}
+		// Publish only a fully-memoized set (batch prefill: cost and extra
+		// memos all-valid, prewarmed here) — adopters then never write to
+		// it. Scalar-mode sets stay private.
+		if modelKey != "" && rootModels.cost.MemoPreds() != nil && extraMemosOf(rootModels) != nil {
+			p.shared.group.models.Put(modelKey, sharedModels{ms: rootModels, cols: p.activeCols})
 		}
 	}
 
@@ -1238,6 +1350,11 @@ func (p *planner) nextConfig(h *optimizer.History, remainingBudget float64) (con
 		return configspace.Config{}, false, err
 	}
 	if len(eligible) == 0 {
+		if claim != nil {
+			// "No eligible candidate" is itself the decision: replicas of
+			// this campaign end the same way, so cache it.
+			claim.Publish(sharedDecision{})
+		}
 		return configspace.Config{}, false, nil
 	}
 	rootInc, err := p.incumbent(rootState, rootModels)
@@ -1272,11 +1389,17 @@ func (p *planner) nextConfig(h *optimizer.History, remainingBudget float64) (con
 
 	bestID, ok := selectBestRatio(scores)
 	if !ok {
+		if claim != nil {
+			claim.Publish(sharedDecision{})
+		}
 		return configspace.Config{}, false, nil
 	}
 	best, err := p.space.Config(bestID)
 	if err != nil {
 		return configspace.Config{}, false, err
+	}
+	if claim != nil {
+		claim.Publish(sharedDecision{id: bestID, ok: true})
 	}
 	return best, true, nil
 }

@@ -51,24 +51,22 @@ type specWorker struct {
 	mu    sync.Mutex
 	deque []specTaskFn
 
-	// free is the owner-private workspace freelist: acquireWorkspace and
-	// releaseWorkspace always run on the owning goroutine, so no lock is
-	// needed and the clone slots (bagging ensembles, regression-tree arenas)
-	// and eligibility buffers inside are reused across candidates, subtrees
-	// and decisions without ever crossing a synchronization point.
-	free []*pathWorkspace
+	// arena is the workspace freelist the worker currently draws from:
+	// acquireWorkspace and releaseWorkspace always run on the owning
+	// goroutine, so no lock is needed and the clone slots (bagging ensembles,
+	// regression-tree arenas) and eligibility buffers inside are reused
+	// across candidates, subtrees and decisions without ever crossing a
+	// synchronization point. For non-shared planners arena is the permanent
+	// private one; shared incremental planners swap in a pool-checked-out
+	// arena for the duration of each run (see specScheduler.run).
+	arena   *wsArena
+	private *wsArena
 }
 
 // acquireWorkspace hands out a recycled pathWorkspace (or a fresh one on a
 // cold arena). Must be called from the worker's own goroutine.
 func (w *specWorker) acquireWorkspace() *pathWorkspace {
-	if n := len(w.free); n > 0 {
-		ws := w.free[n-1]
-		w.free[n-1] = nil
-		w.free = w.free[:n-1]
-		return ws
-	}
-	return &pathWorkspace{}
+	return w.arena.acquire(w)
 }
 
 // releaseWorkspace returns a workspace to the worker's arena. Must be called
@@ -76,7 +74,7 @@ func (w *specWorker) acquireWorkspace() *pathWorkspace {
 // references any clone slot inside (including from spawned children, which
 // is guaranteed by joining the children first).
 func (w *specWorker) releaseWorkspace(ws *pathWorkspace) {
-	w.free = append(w.free, ws)
+	w.arena.release(w, ws)
 }
 
 // spawn pushes a subtree task onto the worker's deque, from where the owner
@@ -187,6 +185,15 @@ type specScheduler struct {
 	// only idle-poll, so non-forking planners keep the root-count cap.
 	wide bool
 
+	// pool and shape, when set, make every run check its participating
+	// workers' arenas out of the share group's pool instead of using the
+	// permanent private ones — the cross-campaign promotion that bounds
+	// retained scratch by the pool limit instead of the campaign count.
+	// Arenas recycle value-neutral scratch (clone slots are fully re-seeded
+	// per use), so where a workspace last served does not affect results.
+	pool  *arenaPool
+	shape string
+
 	// claimed is the root-task injector of the current run (the count of
 	// claimed indices) and rootCount its total. Forking policy derives the
 	// unclaimed supply from them (see scarceRoots): while plenty of root
@@ -204,7 +211,10 @@ func newSpecScheduler(size int) *specScheduler {
 	}
 	s := &specScheduler{workers: make([]*specWorker, size)}
 	for i := range s.workers {
-		s.workers[i] = &specWorker{id: i, sched: s}
+		w := &specWorker{id: i, sched: s}
+		w.private = newPrivateArena(w)
+		w.arena = w.private
+		s.workers[i] = w
 	}
 	return s
 }
@@ -239,6 +249,19 @@ func (s *specScheduler) run(n int, root func(w *specWorker, i int)) {
 	workers := len(s.workers)
 	if workers > n && !s.wide {
 		workers = n
+	}
+	if s.pool != nil {
+		for i := 0; i < workers; i++ {
+			w := s.workers[i]
+			w.arena = s.pool.checkout(s.shape, w)
+		}
+		defer func() {
+			for i := 0; i < workers; i++ {
+				w := s.workers[i]
+				s.pool.release(w.arena, w)
+				w.arena = w.private
+			}
+		}()
 	}
 	var activeRoots atomic.Int64
 	s.rootCount = int64(n)

@@ -237,6 +237,13 @@ func (l *Lynceus) ResumeCampaign(env optimizer.Environment, data []byte) (*Campa
 // ResumeCampaignWith is ResumeCampaign with re-supplied process-local
 // functions (setup-cost model, retry sleep hook).
 func (l *Lynceus) ResumeCampaignWith(env optimizer.Environment, data []byte, fns ResumeFuncs) (*Campaign, error) {
+	return l.resumeCampaign(env, data, fns, nil)
+}
+
+// resumeCampaign is the shared resume path of ResumeCampaignWith and
+// ResumeCampaignShared; sh carries the campaign's share-group binding (nil
+// outside a group).
+func (l *Lynceus) resumeCampaign(env optimizer.Environment, data []byte, fns ResumeFuncs, sh *sharedCtx) (*Campaign, error) {
 	if env == nil {
 		return nil, errors.New("core: nil environment")
 	}
@@ -324,7 +331,7 @@ func (l *Lynceus) ResumeCampaignWith(env optimizer.Environment, data []byte, fns
 		return nil, err
 	}
 
-	planner, err := newPlanner(l.params, env, opts)
+	planner, err := newPlannerShared(l.params, env, opts, sh)
 	if err != nil {
 		return nil, err
 	}

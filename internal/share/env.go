@@ -1,0 +1,54 @@
+package share
+
+import (
+	"repro/internal/configspace"
+	"repro/internal/optimizer"
+)
+
+// WrapEnv returns an environment identical to inner except that Space()
+// reports the canonical space instance. The canonical space is content-equal
+// to inner's own (same digest, same IDs, same feature bits), so the wrapper
+// changes which backing arrays campaigns read, never what any trial or
+// decision computes. When inner already reports the canonical instance it is
+// returned unchanged.
+//
+// Stateful environments (optimizer.StatefulEnvironment) keep their snapshot
+// hooks through the wrapper, so shared campaigns snapshot and resume exactly
+// like isolated ones.
+func WrapEnv(inner optimizer.Environment, canonical *configspace.Space) optimizer.Environment {
+	if inner.Space() == canonical {
+		return inner
+	}
+	w := wrappedEnv{inner: inner, space: canonical}
+	if _, ok := inner.(optimizer.StatefulEnvironment); ok {
+		return &statefulWrappedEnv{w}
+	}
+	return &w
+}
+
+type wrappedEnv struct {
+	inner optimizer.Environment
+	space *configspace.Space
+}
+
+func (e *wrappedEnv) Space() *configspace.Space { return e.space }
+
+func (e *wrappedEnv) Run(cfg configspace.Config) (optimizer.TrialResult, error) {
+	return e.inner.Run(cfg)
+}
+
+func (e *wrappedEnv) UnitPricePerHour(cfg configspace.Config) (float64, error) {
+	return e.inner.UnitPricePerHour(cfg)
+}
+
+type statefulWrappedEnv struct {
+	wrappedEnv
+}
+
+func (e *statefulWrappedEnv) EnvState() ([]byte, error) {
+	return e.inner.(optimizer.StatefulEnvironment).EnvState()
+}
+
+func (e *statefulWrappedEnv) RestoreEnvState(data []byte) error {
+	return e.inner.(optimizer.StatefulEnvironment).RestoreEnvState(data)
+}

@@ -11,9 +11,13 @@
 # The default mode pins GOMAXPROCS=1 so the committed BENCH.json medians are
 # comparable across machines with different core counts; BENCH_MULTICORE=1
 # lifts the pin (all cores) and defaults the output to BENCH.multicore.json,
-# the baseline for the workers=N scaling numbers. benchjson tags every report
-# with the GOMAXPROCS it ran under and the machine's core count, so the two
-# baselines are distinguishable by their own contents.
+# the baseline for the workers=N scaling numbers. Multicore runs are refused
+# on single-core machines (override: BENCH_ALLOW_SINGLE_CORE=1, which stamps
+# a warning into the report) — a "multicore" file recorded serially is a lie,
+# which is why no BENCH.multicore.json is committed: regenerate it locally on
+# real multi-core hardware when scaling numbers are needed. benchjson tags
+# every report with the GOMAXPROCS it ran under and the machine's core count,
+# so the two baselines are distinguishable by their own contents.
 #
 # The default set is the perf-tracked benchmarks reported in README
 # "Performance": the per-decision LA=2 planner (full vs incremental
@@ -25,9 +29,10 @@
 # per-outcome unit of the lookahead simulation), the large-space planner
 # (sampled strategy over 15k-246k-point streaming spaces), and the stochastic
 # serving-cluster campaign (LA=2 incremental on the simulated LLM inference
-# cluster), and the checkpointing path (snapshot serialization and
-# campaign restore, which fault-tolerant campaigns pay every trial). Every
-# benchmark
+# cluster), the checkpointing path (snapshot serialization and
+# campaign restore, which fault-tolerant campaigns pay every trial), and the
+# multi-campaign batch (8 concurrent Tensorflow campaigns through the shared
+# artifact group vs share-nothing, gated on ns/campaign). Every benchmark
 # runs BENCH_COUNT times (default 3) and benchjson records the per-metric
 # MEDIAN — a single planner iteration is too noisy to detect real
 # regressions, and the medians (together with allocs/op on the planner
@@ -38,14 +43,29 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+MULTICORE_FLAG=""
 if [ "${BENCH_MULTICORE:-0}" = "1" ]; then
 	OUT="${1:-BENCH.multicore.json}"
+	# A "multicore" baseline recorded on a single-core machine is worse than
+	# none: its parallel-scaling numbers are indistinguishable from the
+	# GOMAXPROCS=1 baseline but carry a name that claims otherwise. Refuse
+	# outright unless explicitly forced, in which case benchjson stamps a
+	# warning into the report itself.
+	CORES="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+	if [ "$CORES" -le 1 ]; then
+		if [ "${BENCH_ALLOW_SINGLE_CORE:-0}" != "1" ]; then
+			echo "bench.sh: BENCH_MULTICORE=1 on a single-core machine records a meaningless parallel baseline; rerun on a multi-core box, or set BENCH_ALLOW_SINGLE_CORE=1 to force (the report will carry a warning)" >&2
+			exit 1
+		fi
+		echo "bench.sh: WARNING: multicore run forced on a single-core machine; the report will be annotated" >&2
+	fi
+	MULTICORE_FLAG="-multicore"
 else
 	OUT="${1:-BENCH.json}"
 	GOMAXPROCS=1
 	export GOMAXPROCS
 fi
-PATTERN="${BENCH_PATTERN:-BenchmarkPlannerLA2Tensorflow|BenchmarkPlannerLA3Tensorflow|BenchmarkEnsembleFitPredict|BenchmarkEnsembleRefitIncremental|BenchmarkFullSpaceSweep|BenchmarkLargeSpaceDecision|BenchmarkServesimDecision|BenchmarkSnapshotRestore}"
+PATTERN="${BENCH_PATTERN:-BenchmarkPlannerLA2Tensorflow|BenchmarkPlannerLA3Tensorflow|BenchmarkEnsembleFitPredict|BenchmarkEnsembleRefitIncremental|BenchmarkFullSpaceSweep|BenchmarkLargeSpaceDecision|BenchmarkServesimDecision|BenchmarkSnapshotRestore|BenchmarkMultiCampaignThroughput}"
 BENCHTIME="${BENCH_TIME:-1s}"
 COUNT="${BENCH_COUNT:-3}"
 
@@ -60,5 +80,5 @@ if ! go test -run 'XXX' -bench "$PATTERN" -benchtime "$BENCHTIME" -count "$COUNT
 	exit 1
 fi
 cat "$RAW"
-go run ./cmd/benchjson -out "$OUT" < "$RAW"
+go run ./cmd/benchjson $MULTICORE_FLAG -out "$OUT" < "$RAW"
 echo "wrote $OUT"
