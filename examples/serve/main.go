@@ -1,0 +1,227 @@
+// Tuning-server example: run campaigns behind the crash-safe HTTP server and
+// survive a restart without losing (or changing) a single trial.
+//
+// The example starts an in-process lynceus-serve server on a loopback port,
+// creates a campaign over the HTTP API, steps it partway, then simulates an
+// operator restart: graceful drain, shutdown, and a brand-new server process
+// pointed at the same state directory. The restarted server rescans the
+// directory, resumes the campaign from its last durable snapshot, finishes
+// it, and the recommendation comes out bitwise identical to a campaign that
+// was never interrupted.
+//
+//	go run ./examples/serve
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	lynceus "repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+// campaignScale derives the budget and runtime constraint from the job's own
+// statistics, so the example works at the dataset's natural scale.
+func campaignScale() (budget, tmax float64, err error) {
+	job, err := lynceus.SyntheticTensorflowJob("cnn", 42)
+	if err != nil {
+		return 0, 0, err
+	}
+	tmax, err = job.RuntimeForFeasibleFraction(0.5)
+	if err != nil {
+		return 0, 0, err
+	}
+	return 12 * job.MeanCost(), tmax, nil
+}
+
+func run() error {
+	budget, tmax, err := campaignScale()
+	if err != nil {
+		return err
+	}
+	// campaignSpec is the wire payload of POST /campaigns.
+	campaignSpec := map[string]any{
+		"id":    "demo",
+		"env":   map[string]any{"kind": "tensorflow", "name": "cnn", "seed": 42},
+		"tuner": map[string]any{"lookahead": 1},
+		"options": map[string]any{
+			"budget":              budget,
+			"max_runtime_seconds": tmax,
+			"bootstrap_size":      6,
+			"seed":                7,
+		},
+	}
+
+	stateDir, err := os.MkdirTemp("", "lynceus-serve-example-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(stateDir)
+	fmt.Printf("state directory: %s\n\n", filepath.Base(stateDir))
+
+	// ---- First server lifetime: admit and advance the campaign ----------
+	base, stop, err := startServer(stateDir)
+	if err != nil {
+		return err
+	}
+	if err := postJSON(base+"/campaigns", campaignSpec, nil); err != nil {
+		return err
+	}
+	var status struct {
+		Trials int  `json:"trials"`
+		Done   bool `json:"done"`
+	}
+	if err := postJSON(base+"/campaigns/demo/step", map[string]any{"steps": 7}, &status); err != nil {
+		return err
+	}
+	fmt.Printf("first server: campaign advanced to %d trials (done=%v)\n", status.Trials, status.Done)
+
+	// Graceful restart: drain waits for in-flight steps (each one already
+	// snapshotted durably), then the server goes away entirely.
+	if err := stop(); err != nil {
+		return err
+	}
+	fmt.Println("first server drained and stopped")
+
+	// ---- Second server lifetime: rescan, resume, finish ------------------
+	base, stop, err = startServer(stateDir)
+	if err != nil {
+		return err
+	}
+	defer stop()
+	var stats struct {
+		Resumed uint64 `json:"resumed_on_start"`
+	}
+	if err := getJSON(base+"/stats", &stats); err != nil {
+		return err
+	}
+	fmt.Printf("second server: resumed %d campaign(s) from disk\n", stats.Resumed)
+
+	for !status.Done {
+		if err := postJSON(base+"/campaigns/demo/step", map[string]any{"steps": 10}, &status); err != nil {
+			return err
+		}
+	}
+	var served lynceus.Result
+	if err := getJSON(base+"/campaigns/demo/recommendation", &served); err != nil {
+		return err
+	}
+	fmt.Printf("served campaign finished: %d trials, spent $%.4f\n\n", len(served.Trials), served.SpentBudget)
+
+	// ---- The punchline: the restart changed nothing ----------------------
+	baseline, err := uninterruptedRun()
+	if err != nil {
+		return err
+	}
+	if served.Recommended.Config.ID != baseline.Recommended.Config.ID ||
+		len(served.Trials) != len(baseline.Trials) {
+		return fmt.Errorf("served run diverged from the uninterrupted baseline: config %d/%d trials vs %d/%d",
+			served.Recommended.Config.ID, len(served.Trials),
+			baseline.Recommended.Config.ID, len(baseline.Trials))
+	}
+	fmt.Printf("uninterrupted baseline matches bitwise: config %d recommended after %d trials\n",
+		baseline.Recommended.Config.ID, len(baseline.Trials))
+	return nil
+}
+
+// startServer brings up a serve.Server on a loopback port and returns its
+// base URL plus a stop function performing the drain/shutdown/close dance of
+// a graceful operator restart.
+func startServer(stateDir string) (string, func() error, error) {
+	srv, err := serve.New(serve.Config{StateDir: stateDir, Rate: -1})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return "", nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	stop := func() error {
+		if err := srv.Drain(context.Background()); err != nil {
+			return err
+		}
+		if err := httpSrv.Shutdown(context.Background()); err != nil {
+			return err
+		}
+		return srv.Close()
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+// uninterruptedRun executes the identical campaign in-process, with no
+// server, no restart, no snapshots — the reference the served run must match.
+func uninterruptedRun() (lynceus.Result, error) {
+	budget, tmax, err := campaignScale()
+	if err != nil {
+		return lynceus.Result{}, err
+	}
+	job, err := lynceus.SyntheticTensorflowJob("cnn", 42)
+	if err != nil {
+		return lynceus.Result{}, err
+	}
+	env, err := lynceus.NewJobEnvironment(job)
+	if err != nil {
+		return lynceus.Result{}, err
+	}
+	tuner, err := lynceus.StartTuner(lynceus.TunerConfig{Lookahead: 1}, env, lynceus.Options{
+		Budget:            budget,
+		MaxRuntimeSeconds: tmax,
+		BootstrapSize:     6,
+		Seed:              7,
+	})
+	if err != nil {
+		return lynceus.Result{}, err
+	}
+	return tuner.Run()
+}
+
+func postJSON(url string, body any, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	return decode(resp, out)
+}
+
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	return decode(resp, out)
+}
+
+func decode(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("%s: %s", resp.Status, e.Error)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

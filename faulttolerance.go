@@ -24,6 +24,12 @@ var (
 	// retries (e.g. an injected crash); the campaign aborts and should be
 	// resumed from its last snapshot.
 	ErrEnvironmentFatal = optimizer.ErrEnvironmentFatal
+	// ErrCampaignCancelled marks campaign steps stopped by their context
+	// (Tuner.StepContext / MultiRunner.RunContext): the error also wraps the
+	// context's own cause, so errors.Is matches context.Canceled and
+	// context.DeadlineExceeded too. Cancellation records no partial trial;
+	// resume the campaign from its last snapshot.
+	ErrCampaignCancelled = optimizer.ErrCampaignCancelled
 )
 
 type (

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 
 	"repro/internal/optimizer"
@@ -83,8 +85,34 @@ func (l *Lynceus) newCampaign(env optimizer.Environment, opts optimizer.Options,
 // counts as progress and returns done=false with no error. Step returns
 // done=true once no further trial can run; FinishReason then tells why.
 func (c *Campaign) Step() (done bool, err error) {
+	return c.StepContext(context.Background())
+}
+
+// cancelErr converts a cancelled context into the campaign error family:
+// the returned error wraps both optimizer.ErrCampaignCancelled and the
+// context's own error (context.Canceled / context.DeadlineExceeded), and is
+// nil while the context is live.
+func cancelErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", optimizer.ErrCampaignCancelled, err)
+	}
+	return nil
+}
+
+// StepContext is Step under a context: a cancelled or deadline-exceeded
+// context stops the step between trials and between planner phases (strategy
+// selection, model fit, eligibility, path scoring) with an error wrapping
+// optimizer.ErrCampaignCancelled. Cancellation never records a partial
+// trial, but — like any other Step error — it can leave the in-memory
+// planner state mid-decision; recover by resuming from the last snapshot.
+// The context does not interrupt a blocking Environment.Run (use
+// RetryPolicy.Timeout for that); it is checked again when the run returns.
+func (c *Campaign) StepContext(ctx context.Context) (done bool, err error) {
 	if c.done {
 		return true, nil
+	}
+	if err := cancelErr(ctx); err != nil {
+		return false, err
 	}
 	if !c.boot.Done() {
 		bootDone, err := c.boot.Step(c.history, c.budget, c.opts)
@@ -102,7 +130,7 @@ func (c *Campaign) Step() (done bool, err error) {
 		c.finishWith(optimizer.ErrSpaceExhausted)
 		return true, nil
 	}
-	next, ok, err := c.planner.nextConfig(c.history, c.budget.Remaining())
+	next, ok, err := c.planner.nextConfig(ctx, c.history, c.budget.Remaining())
 	if err != nil {
 		return false, err
 	}
@@ -111,6 +139,9 @@ func (c *Campaign) Step() (done bool, err error) {
 		// required confidence: the campaign ends having spent its budget.
 		c.finishWith(optimizer.ErrBudgetExhausted)
 		return true, nil
+	}
+	if err := cancelErr(ctx); err != nil {
+		return false, err
 	}
 	if _, _, err := optimizer.RunTrialWithRetry(c.env, next, c.history, c.budget, c.opts); err != nil {
 		return false, err

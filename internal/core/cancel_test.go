@@ -1,0 +1,244 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/configspace"
+	"repro/internal/optimizer"
+)
+
+// TestStepContextCancelledAtEntry pins the trial-boundary cancellation
+// contract: a StepContext with an already-cancelled context returns an error
+// matching both optimizer.ErrCampaignCancelled and the context cause, records
+// nothing, and leaves the campaign exactly where it was — stepping on with a
+// live context afterwards reproduces the uncancelled run bitwise.
+func TestStepContextCancelledAtEntry(t *testing.T) {
+	l, err := New(fastParams(1))
+	if err != nil {
+		t.Fatalf("New error: %v", err)
+	}
+	opts := fixtureOptions(t, 5)
+
+	baselineCampaign, err := l.NewCampaign(fixtureEnv(t), opts)
+	if err != nil {
+		t.Fatalf("NewCampaign error: %v", err)
+	}
+	baseline, err := baselineCampaign.Run()
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+
+	c, err := l.NewCampaign(fixtureEnv(t), opts)
+	if err != nil {
+		t.Fatalf("NewCampaign error: %v", err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Interleave a cancelled attempt before every real step.
+	for {
+		trialsBefore := len(c.Trials())
+		if _, err := c.StepContext(cancelled); !errors.Is(err, optimizer.ErrCampaignCancelled) {
+			t.Fatalf("cancelled StepContext error = %v, want ErrCampaignCancelled", err)
+		} else if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled StepContext error = %v, want context.Canceled in the chain", err)
+		}
+		if got := len(c.Trials()); got != trialsBefore {
+			t.Fatalf("cancelled step recorded a trial (%d -> %d)", trialsBefore, got)
+		}
+		done, err := c.StepContext(context.Background())
+		if err != nil {
+			t.Fatalf("live step: %v", err)
+		}
+		if done {
+			break
+		}
+	}
+	res, err := c.Result()
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	sameResult(t, "cancel-interleaved run", res, baseline)
+}
+
+// TestPlannerCancelledBetweenPhases drives nextConfig itself with a cancelled
+// context: the planner must stop at a phase boundary with the sentinel error
+// instead of planning on.
+func TestPlannerCancelledBetweenPhases(t *testing.T) {
+	l, err := New(fastParams(1))
+	if err != nil {
+		t.Fatalf("New error: %v", err)
+	}
+	opts := fixtureOptions(t, 5)
+	c, err := l.NewCampaign(fixtureEnv(t), opts)
+	if err != nil {
+		t.Fatalf("NewCampaign error: %v", err)
+	}
+	// Step past the bootstrap so nextConfig exercises the full planning
+	// pipeline (gather, fit, eligibility, path scoring).
+	for !c.boot.Done() {
+		if done, err := c.Step(); err != nil || done {
+			t.Fatalf("bootstrap stepping: done=%v err=%v", done, err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err = c.planner.nextConfig(ctx, c.history, c.budget.Remaining())
+	if !errors.Is(err, optimizer.ErrCampaignCancelled) {
+		t.Fatalf("nextConfig under cancelled ctx = %v, want ErrCampaignCancelled", err)
+	}
+	// A nil context still means "never cancelled".
+	if _, _, err := c.planner.nextConfig(nil, c.history, c.budget.Remaining()); err != nil {
+		t.Fatalf("nextConfig with nil ctx: %v", err)
+	}
+}
+
+// TestCancelThenResumeBitwise is the server's rollback path in miniature:
+// cancel a campaign, resume its last snapshot, finish — bitwise identical to
+// never cancelling.
+func TestCancelThenResumeBitwise(t *testing.T) {
+	l, err := New(fastParams(1))
+	if err != nil {
+		t.Fatalf("New error: %v", err)
+	}
+	opts := fixtureOptions(t, 7)
+
+	baselineCampaign, err := l.NewCampaign(fixtureEnv(t), opts)
+	if err != nil {
+		t.Fatalf("NewCampaign error: %v", err)
+	}
+	baseline, err := baselineCampaign.Run()
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+
+	c, err := l.NewCampaign(fixtureEnv(t), opts)
+	if err != nil {
+		t.Fatalf("NewCampaign error: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if done, err := c.Step(); err != nil || done {
+			t.Fatalf("step %d: done=%v err=%v", i, done, err)
+		}
+	}
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	cancelledCtx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.StepContext(cancelledCtx); !errors.Is(err, optimizer.ErrCampaignCancelled) {
+		t.Fatalf("cancelled step = %v, want ErrCampaignCancelled", err)
+	}
+
+	resumed, err := l.ResumeCampaign(fixtureEnv(t), snap)
+	if err != nil {
+		t.Fatalf("ResumeCampaign: %v", err)
+	}
+	res, err := resumed.Run()
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	sameResult(t, "cancel-then-resume", res, baseline)
+}
+
+// failingEnv lets the first `successes` runs through, then fails permanently —
+// a campaign that bootstraps fine and dies at its first planned trial.
+type failingEnv struct {
+	*optimizer.JobEnvironment
+	successes int
+	runs      int
+}
+
+func (f *failingEnv) Run(cfg configspace.Config) (optimizer.TrialResult, error) {
+	f.runs++
+	if f.runs <= f.successes {
+		return f.JobEnvironment.Run(cfg)
+	}
+	return optimizer.TrialResult{}, &optimizer.RunError{
+		Err:       fmt.Errorf("injected permanent failure"),
+		Transient: false,
+	}
+}
+
+// TestMultiRunnerFailureRecords pins the structured per-campaign failure
+// reporting: a failing campaign in a batch yields a CampaignFailure with the
+// right name, index, errors.Is-matchable cause and transient flag, and the
+// healthy campaigns are unaffected.
+func TestMultiRunnerFailureRecords(t *testing.T) {
+	l, err := New(fastParams(1))
+	if err != nil {
+		t.Fatalf("New error: %v", err)
+	}
+	opts := fixtureOptions(t, 5)
+	opts.BootstrapSize = 4
+	opts.Retry = optimizer.RetryPolicy{MaxAttempts: 1} // abort on first failure
+
+	runner := NewMultiRunner(2, nil)
+	if err := runner.Add("healthy", l, fixtureEnv(t), opts); err != nil {
+		t.Fatalf("Add(healthy): %v", err)
+	}
+	if err := runner.Add("doomed", l, &failingEnv{JobEnvironment: fixtureEnv(t), successes: 4}, opts); err != nil {
+		t.Fatalf("Add(doomed): %v", err)
+	}
+	summary, err := runner.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if summary.Results[0].Err != nil {
+		t.Fatalf("healthy campaign failed: %v", summary.Results[0].Err)
+	}
+	if len(summary.Failures) != 1 {
+		t.Fatalf("%d failure records, want 1: %+v", len(summary.Failures), summary.Failures)
+	}
+	f := summary.Failures[0]
+	if f.Name != "doomed" || f.Index != 1 {
+		t.Fatalf("failure record = %+v, want name doomed index 1", f)
+	}
+	if !errors.Is(f.Err, optimizer.ErrRunFailed) {
+		t.Fatalf("failure cause = %v, want ErrRunFailed in the chain", f.Err)
+	}
+	var runErr *optimizer.RunError
+	if !errors.As(f.Err, &runErr) {
+		t.Fatalf("failure cause = %v, want an extractable *RunError", f.Err)
+	}
+	if f.Transient {
+		t.Fatal("permanent run failure classified transient")
+	}
+}
+
+// TestMultiRunnerRunContextCancelled pins batch cancellation: a cancelled
+// context stops every campaign with a transient, ErrCampaignCancelled-matching
+// failure record, and the partial summary still comes back.
+func TestMultiRunnerRunContextCancelled(t *testing.T) {
+	l, err := New(fastParams(1))
+	if err != nil {
+		t.Fatalf("New error: %v", err)
+	}
+	opts := fixtureOptions(t, 5)
+	runner := NewMultiRunner(2, nil)
+	for i := 0; i < 3; i++ {
+		if err := runner.Add(fmt.Sprintf("c%d", i), l, fixtureEnv(t), opts); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	summary, err := runner.RunContext(ctx)
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if len(summary.Failures) != 3 {
+		t.Fatalf("%d failure records, want 3 (all cancelled): %+v", len(summary.Failures), summary.Failures)
+	}
+	for i, f := range summary.Failures {
+		if !errors.Is(f.Err, optimizer.ErrCampaignCancelled) {
+			t.Fatalf("failure %d cause = %v, want ErrCampaignCancelled", i, f.Err)
+		}
+		if !f.Transient {
+			t.Fatalf("cancellation of %q classified non-transient", f.Name)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -47,10 +48,58 @@ type MultiResult struct {
 	Steps int
 }
 
+// CampaignFailure is the structured failure record of one campaign of a
+// batch: which campaign failed, the errors.Is-matchable cause, and whether
+// the failure is transient — worth re-running the campaign (typically by
+// resuming its last snapshot) rather than writing it off.
+type CampaignFailure struct {
+	// Name is the label the campaign was added under.
+	Name string
+	// Index is the campaign's position in Add order (MultiSummary.Results
+	// index), disambiguating duplicate names.
+	Index int
+	// Err is the campaign's terminal error with its full wrap chain intact:
+	// errors.Is matches the campaign-control sentinels
+	// (optimizer.ErrRunFailed, optimizer.ErrCampaignCancelled, ...) and
+	// errors.As extracts the underlying *optimizer.RunError when the failure
+	// came from a profiling run.
+	Err error
+	// Transient reports whether re-running the campaign can plausibly
+	// succeed: cancellations and deadline aborts (the driver stopped the
+	// campaign, not the campaign itself), trial timeouts, and profiling
+	// failures the environment marked retryable are transient; fatal
+	// environment errors and permanent run failures are not.
+	Transient bool
+}
+
+// classifyFailure builds the structured record of one failed campaign.
+func classifyFailure(name string, index int, err error) CampaignFailure {
+	f := CampaignFailure{Name: name, Index: index, Err: err}
+	switch {
+	case errors.Is(err, optimizer.ErrCampaignCancelled):
+		f.Transient = true
+	case errors.Is(err, optimizer.ErrEnvironmentFatal):
+		f.Transient = false
+	case errors.Is(err, optimizer.ErrTrialTimeout):
+		f.Transient = true
+	default:
+		var runErr *optimizer.RunError
+		if errors.As(err, &runErr) {
+			f.Transient = runErr.Transient
+		}
+	}
+	return f
+}
+
 // MultiSummary is the outcome of a whole batch.
 type MultiSummary struct {
 	// Results holds one entry per added campaign, in Add order.
 	Results []MultiResult
+	// Failures holds one structured record per campaign whose Err is
+	// non-nil, in Add order — the machine-readable view a driving service
+	// reports and acts on (retry transient failures, quarantine the rest).
+	// Empty when every campaign finished.
+	Failures []CampaignFailure
 	// Elapsed is the wall-clock time of the Run call.
 	Elapsed time.Duration
 	// CampaignsPerSec is len(Results) divided by Elapsed — the batch
@@ -100,6 +149,15 @@ func (r *MultiRunner) Attach(name string, c *Campaign) {
 // Step; unfinished campaigns re-enter the queue behind the others. A Run can
 // only happen once per runner.
 func (r *MultiRunner) Run() (MultiSummary, error) {
+	return r.RunContext(context.Background())
+}
+
+// RunContext is Run under a context: cancelling it stops every campaign at
+// its next step (between trials or between planner phases) and records the
+// cancellation as that campaign's failure — transient, since resuming the
+// campaigns' snapshots continues them. The summary is returned, not
+// discarded, so a cancelled batch still reports how far each campaign got.
+func (r *MultiRunner) RunContext(ctx context.Context) (MultiSummary, error) {
 	if r.started.Swap(true) {
 		return MultiSummary{}, errors.New("core: MultiRunner.Run called twice")
 	}
@@ -125,7 +183,7 @@ func (r *MultiRunner) Run() (MultiSummary, error) {
 			go func() {
 				defer wg.Done()
 				for it := range queue {
-					done, err := it.campaign.Step()
+					done, err := it.campaign.StepContext(ctx)
 					it.result.Steps++
 					if err != nil {
 						it.result.Err = err
@@ -148,8 +206,11 @@ func (r *MultiRunner) Run() (MultiSummary, error) {
 	}
 	elapsed := time.Since(start)
 	summary := MultiSummary{Elapsed: elapsed}
-	for _, it := range r.items {
+	for i, it := range r.items {
 		summary.Results = append(summary.Results, it.result)
+		if it.result.Err != nil {
+			summary.Failures = append(summary.Failures, classifyFailure(it.name, i, it.result.Err))
+		}
 	}
 	if s := elapsed.Seconds(); s > 0 {
 		summary.CampaignsPerSec = float64(n) / s

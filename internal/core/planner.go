@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -70,6 +71,15 @@ type planner struct {
 	// group caches. keyBuf is the reusable cache-key assembly buffer.
 	shared *sharedCtx
 	keyBuf []byte
+
+	// stepCtx is the context of the in-flight nextConfig call (set at entry,
+	// cleared at exit; context.Background() when the caller supplied none).
+	// It is read-only during the parallel fan-out: phase boundaries and each
+	// path evaluation poll it, so a cancelled or deadline-exceeded step stops
+	// between planner phases — not only between trials — with an error
+	// wrapping optimizer.ErrCampaignCancelled. Polling a live context returns
+	// nil everywhere, so cancellation support never perturbs decisions.
+	stepCtx context.Context
 
 	// Per-decision scratch rebuilt by nextConfig; read-only during the
 	// parallel path-evaluation fan-out.
@@ -618,6 +628,15 @@ func (ws *pathWorkspace) cloneSlot(p *planner, depth int) *modelSet {
 // private arena and returns it there once the whole path (including every
 // forked subtree) has joined.
 func (p *planner) evalPath(w *specWorker, iteration, activeSize int, rootState *specState, rootModels *modelSet, rootInc float64, cand candidate, extraNames []string) (pathScore, error) {
+	// Cancellation poll: a cancelled step abandons the remaining path
+	// evaluations (the error propagates through the canonical firstError
+	// reduction, so the abort is deterministic). stepCtx may be nil when a
+	// test drives evalPath outside nextConfig.
+	if p.stepCtx != nil {
+		if err := cancelErr(p.stepCtx); err != nil {
+			return pathScore{}, err
+		}
+	}
 	var ws *pathWorkspace
 	if p.refitMode == SpecRefitIncremental {
 		ws = w.acquireWorkspace()
@@ -1216,7 +1235,12 @@ const (
 // precomputed, and each path evaluation owns a scratch model set on a random
 // stream derived from the candidate's configuration ID — so the selected
 // configuration is identical for every worker count.
-func (p *planner) nextConfig(h *optimizer.History, remainingBudget float64) (configspace.Config, bool, error) {
+func (p *planner) nextConfig(ctx context.Context, h *optimizer.History, remainingBudget float64) (configspace.Config, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p.stepCtx = ctx
+	defer func() { p.stepCtx = nil }()
 	extraNames := p.constraintNames()
 	train := newTrainSetFromHistory(h, p.opts, extraNames)
 	if len(train.costs) == 0 {
@@ -1239,6 +1263,12 @@ func (p *planner) nextConfig(h *optimizer.History, remainingBudget float64) (con
 	}
 	untested, err := p.gather(ids)
 	if err != nil {
+		return configspace.Config{}, false, err
+	}
+	// Phase boundary: candidate selection done, model fit next. Checked
+	// before the sharing claim so a cancelled campaign never becomes a
+	// decision leader its replicas would block on.
+	if err := cancelErr(ctx); err != nil {
 		return configspace.Config{}, false, err
 	}
 
@@ -1338,6 +1368,11 @@ func (p *planner) nextConfig(h *optimizer.History, remainingBudget float64) (con
 		}
 	}
 
+	// Phase boundary: root models fitted and prefilled, eligibility next.
+	if err := cancelErr(ctx); err != nil {
+		return configspace.Config{}, false, err
+	}
+
 	rootState := &specState{
 		train:    train,
 		untested: untested,
@@ -1366,6 +1401,12 @@ func (p *planner) nextConfig(h *optimizer.History, remainingBudget float64) (con
 		if rootEIc[i], err = p.eic(rootInc, cand, costPreds[i], extraPreds[i], extraNames); err != nil {
 			return configspace.Config{}, false, err
 		}
+	}
+
+	// Phase boundary: eligibility and root EIc done, path scoring next (the
+	// long phase; each path evaluation additionally polls stepCtx itself).
+	if err := cancelErr(ctx); err != nil {
+		return configspace.Config{}, false, err
 	}
 
 	deepSearch := p.params.Lookahead >= 2 && !p.params.DisablePruning

@@ -94,7 +94,7 @@ func newPlannerBenchFixture(tb testing.TB, lookahead int, refit SpeculativeRefit
 // decide runs one planning decision and fails the benchmark if the planner
 // declines to recommend (which would mean the op did no work).
 func (f *plannerBenchFixture) decide(tb testing.TB) {
-	next, ok, err := f.planner.nextConfig(f.history, f.remaining)
+	next, ok, err := f.planner.nextConfig(nil, f.history, f.remaining)
 	if err != nil {
 		tb.Fatalf("nextConfig: %v", err)
 	}

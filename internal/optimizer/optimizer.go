@@ -38,6 +38,14 @@ var (
 	// credential or an injected crash point in fault testing. Environments
 	// signal it by wrapping this sentinel.
 	ErrEnvironmentFatal = errors.New("optimizer: fatal environment failure")
+	// ErrCampaignCancelled reports that a campaign step was stopped by its
+	// context — cancellation or a deadline — between trials or between
+	// planner phases. Errors carrying it also wrap the context's own error,
+	// so errors.Is matches both this sentinel and context.Canceled /
+	// context.DeadlineExceeded. A cancelled step records no trial; the
+	// campaign's durable state is whatever the last snapshot captured, and
+	// the supported recovery is resuming from it.
+	ErrCampaignCancelled = errors.New("optimizer: campaign cancelled")
 )
 
 // TrialResult is the outcome of profiling the job on one configuration.

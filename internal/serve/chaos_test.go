@@ -1,0 +1,189 @@
+//go:build !race
+
+// The chaos test exercises the crash-safety guarantee end to end on the real
+// binary: SIGKILL mid-traffic, restart, and every campaign must finish
+// bitwise identical to an uninterrupted run. It is excluded from race builds:
+// the killed process is a separate binary the detector cannot instrument, and
+// the ~20x slowdown of the in-process baseline buys nothing.
+
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	lynceus "repro"
+	"repro/internal/faults"
+)
+
+// serveProc is one lynceus-serve process under test control.
+type serveProc struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+func buildServeBinary(t *testing.T, dir string) string {
+	t.Helper()
+	bin := dir + "/lynceus-serve"
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/lynceus-serve")
+	cmd.Dir = "../.." // repo root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building lynceus-serve: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func startServeProc(t *testing.T, bin, stateDir string) *serveProc {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-state-dir", stateDir,
+		"-rate", "-1", // the chaos traffic is not a rate-limiting test
+		"-step-deadline", "1m",
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting lynceus-serve: %v", err)
+	}
+	// The first stdout line announces the listening address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("lynceus-serve printed no listening line (scan err %v)", sc.Err())
+	}
+	line := sc.Text()
+	addr, ok := strings.CutPrefix(line, "listening on ")
+	if !ok {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("unexpected first stdout line %q", line)
+	}
+	go func() { // drain remaining stdout so the child never blocks on a full pipe
+		for sc.Scan() {
+		}
+	}()
+	p := &serveProc{cmd: cmd, base: "http://" + addr}
+	t.Cleanup(func() {
+		p.cmd.Process.Kill()
+		p.cmd.Wait()
+	})
+	return p
+}
+
+func (p *serveProc) kill(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil { // SIGKILL: no cleanup, no drain
+		t.Fatal(err)
+	}
+	p.cmd.Wait()
+}
+
+func TestChaosKillRestartBitwise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real binary; skipped in -short")
+	}
+	binDir := t.TempDir()
+	stateDir := t.TempDir()
+	bin := buildServeBinary(t, binDir)
+
+	// Two campaigns, one of them under deterministic fault injection: the
+	// crash must not perturb even retry/quarantine bookkeeping.
+	plain := fastSpec(t, "chaos-plain", 21)
+	faulty := fastSpec(t, "chaos-faulty", 22)
+	faulty.Env.Faults = &faults.Params{
+		Seed:               99,
+		TransientRate:      0.15,
+		FailedCostFraction: 0.3,
+	}
+	faulty.Options.Retry = RetrySpec{MaxAttempts: 3, BackoffBaseMS: 1, BackoffMaxMS: 2, Quarantine: true}
+	reqs := []createRequest{plain, faulty}
+
+	proc := startServeProc(t, bin, stateDir)
+	client := &testClient{t: t, base: proc.base}
+	for _, req := range reqs {
+		client.mustJSON("POST", "/campaigns", req, http.StatusCreated, nil)
+	}
+
+	// Hammer both campaigns with step traffic from several goroutines while
+	// the process is about to be shot: admitted steps snapshot durably, the
+	// in-flight one at kill time is the at-most-one step a crash may lose.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, req := range reqs {
+		for k := 0; k < 2; k++ {
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					body, _ := json.Marshal(stepRequest{Steps: 2})
+					resp, err := http.Post(proc.base+"/campaigns/"+id+"/step", "application/json",
+						strings.NewReader(string(body)))
+					if err != nil {
+						return // the kill landed mid-request
+					}
+					resp.Body.Close()
+				}
+			}(req.ID)
+		}
+	}
+
+	// Let real progress accumulate before the kill.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var st CampaignStatus
+		resp, err := http.Get(proc.base + "/campaigns/chaos-faulty")
+		if err == nil {
+			json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+		}
+		if st.Trials >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("campaigns made no progress before the kill")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	proc.kill(t)
+	close(stop)
+	wg.Wait()
+
+	// Restart on the same state directory: both campaigns must resume from
+	// their last durable snapshot and finish exactly as if never killed.
+	proc2 := startServeProc(t, bin, stateDir)
+	client2 := &testClient{t: t, base: proc2.base}
+	var stats Stats
+	client2.mustJSON("GET", "/stats", nil, http.StatusOK, &stats)
+	if stats.ResumedOnStart != 2 {
+		t.Fatalf("ResumedOnStart after kill = %d, want 2", stats.ResumedOnStart)
+	}
+	for _, req := range reqs {
+		var st CampaignStatus
+		client2.mustJSON("GET", "/campaigns/"+req.ID, nil, http.StatusOK, &st)
+		if st.State == StateQuarantined {
+			t.Fatalf("campaign %s quarantined after restart: %+v", req.ID, st)
+		}
+		if !st.Done {
+			client2.stepUntilDone(req.ID)
+		}
+		var got lynceus.Result
+		client2.mustJSON("GET", "/campaigns/"+req.ID+"/recommendation", nil, http.StatusOK, &got)
+		assertSameTrials(t, fmt.Sprintf("%s after SIGKILL", req.ID), got, baselineRun(t, req))
+	}
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// maxLimiterClients bounds the per-client bucket map: past it, fully-refilled
+// buckets (indistinguishable from brand-new ones) are evicted. A hostile
+// client set can therefore grow the map to maxLimiterClients entries plus
+// its active clients, never unboundedly.
+const maxLimiterClients = 4096
+
+// Limiter is a per-client token bucket: each client refills at rate
+// tokens/second up to burst, and every admitted request spends one token.
+// Refill is computed lazily from elapsed time on each Allow — no background
+// goroutine — and the clock is injected, so tests drive it deterministically:
+// under a fake clock the exact same Allow sequence always admits and rejects
+// the exact same calls, with the exact same Retry-After hints.
+type Limiter struct {
+	rate  float64 // tokens per second
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewLimiter creates a limiter. rate <= 0 disables limiting (every Allow
+// admits); burst < 1 is raised to 1 so a conforming client can always make
+// at least one call. now nil means time.Now.
+func NewLimiter(rate, burst float64, now func() time.Time) *Limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Limiter{rate: rate, burst: burst, now: now, buckets: make(map[string]*bucket)}
+}
+
+// Allow spends one token of the client's bucket. When the bucket is empty it
+// returns ok=false and the wait until one token will have refilled — the
+// Retry-After hint. A rejected call spends nothing: the schedule depends only
+// on admitted calls and elapsed time, never on how hard a client hammers.
+func (l *Limiter) Allow(client string) (ok bool, retryAfter time.Duration) {
+	if l.rate <= 0 {
+		return true, 0
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[client]
+	if b == nil {
+		if len(l.buckets) >= maxLimiterClients {
+			l.evictFullLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	} else {
+		elapsed := now.Sub(b.last).Seconds()
+		if elapsed > 0 {
+			b.tokens = math.Min(l.burst, b.tokens+elapsed*l.rate)
+			b.last = now
+		}
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return false, wait
+}
+
+// evictFullLocked drops buckets that have refilled to burst: their state
+// equals a fresh bucket's, so forgetting them changes nothing for their
+// clients.
+func (l *Limiter) evictFullLocked(now time.Time) {
+	for client, b := range l.buckets {
+		if math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate) >= l.burst {
+			delete(l.buckets, client)
+		}
+	}
+}
+
+// Clients returns the number of tracked client buckets (observability).
+func (l *Limiter) Clients() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestWatchdogFiresOnlyPastDeadline(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWatchdog(time.Minute, clk.Now)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	token := w.Arm("c-1", cancel)
+	if got := w.Armed(); got != 1 {
+		t.Fatalf("Armed() = %d, want 1", got)
+	}
+
+	clk.Advance(59 * time.Second)
+	if fired := w.Sweep(); len(fired) != 0 {
+		t.Fatalf("sweep before the deadline fired on %v", fired)
+	}
+	if ctx.Err() != nil {
+		t.Fatal("context cancelled before the deadline")
+	}
+
+	clk.Advance(2 * time.Second)
+	fired := w.Sweep()
+	if len(fired) != 1 || fired[0] != "c-1" {
+		t.Fatalf("sweep past the deadline fired on %v, want [c-1]", fired)
+	}
+	if ctx.Err() == nil {
+		t.Fatal("context not cancelled by the sweep")
+	}
+	if got := w.Fired(); got != 1 {
+		t.Fatalf("Fired() = %d, want 1", got)
+	}
+	// A fired entry is removed: sweeping again is a no-op.
+	if fired := w.Sweep(); len(fired) != 0 {
+		t.Fatalf("second sweep re-fired on %v", fired)
+	}
+	// Disarming a swept token is a harmless no-op.
+	w.Disarm(token)
+}
+
+func TestWatchdogDisarmPreventsFiring(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWatchdog(time.Second, clk.Now)
+	ctx, cancel := context.WithCancel(context.Background())
+	token := w.Arm("c-1", cancel)
+	w.Disarm(token)
+	clk.Advance(time.Hour)
+	if fired := w.Sweep(); len(fired) != 0 {
+		t.Fatalf("sweep fired on a disarmed step: %v", fired)
+	}
+	if ctx.Err() != nil {
+		t.Fatal("disarmed step's context cancelled")
+	}
+}
+
+func TestWatchdogDisabled(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWatchdog(0, clk.Now)
+	_, cancel := context.WithCancel(context.Background())
+	if token := w.Arm("c-1", cancel); token != 0 {
+		t.Fatalf("disabled watchdog armed with token %d", token)
+	}
+	clk.Advance(time.Hour)
+	if fired := w.Sweep(); fired != nil {
+		t.Fatalf("disabled watchdog fired on %v", fired)
+	}
+}
+
+func TestWatchdogIndependentSteps(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWatchdog(time.Minute, clk.Now)
+	_, cancelOld := context.WithCancel(context.Background())
+	w.Arm("old", cancelOld)
+	clk.Advance(40 * time.Second)
+	youngCtx, cancelYoung := context.WithCancel(context.Background())
+	w.Arm("young", cancelYoung)
+	clk.Advance(30 * time.Second) // old at 70s (overdue), young at 30s
+	fired := w.Sweep()
+	if len(fired) != 1 || fired[0] != "old" {
+		t.Fatalf("sweep fired on %v, want [old]", fired)
+	}
+	if youngCtx.Err() != nil {
+		t.Fatal("young step cancelled alongside the old one")
+	}
+}

@@ -1,6 +1,7 @@
 package servesim
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
@@ -189,6 +190,41 @@ func (e *Env) ResetRuns() {
 	e.mu.Lock()
 	e.runs = make(map[int]int)
 	e.mu.Unlock()
+}
+
+// envState is the serialized form of the environment's mutable state: the
+// per-configuration run counters that position every noise stream.
+type envState struct {
+	Runs map[int]int `json:"runs,omitempty"`
+}
+
+// EnvState implements optimizer.StatefulEnvironment: the per-configuration
+// run counters travel inside campaign snapshots, so a campaign resumed in a
+// fresh process draws the identical stochastic observations the
+// uninterrupted run would have drawn.
+func (e *Env) EnvState() ([]byte, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return json.Marshal(envState{Runs: e.runs})
+}
+
+// RestoreEnvState implements optimizer.StatefulEnvironment.
+func (e *Env) RestoreEnvState(data []byte) error {
+	var st envState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("servesim: decoding environment state: %w", err)
+	}
+	runs := make(map[int]int, len(st.Runs))
+	for id, n := range st.Runs {
+		if n < 0 {
+			return fmt.Errorf("servesim: negative run counter %d for config %d", n, id)
+		}
+		runs[id] = n
+	}
+	e.mu.Lock()
+	e.runs = runs
+	e.mu.Unlock()
+	return nil
 }
 
 // trial converts one simulation result into a TrialResult.

@@ -1,6 +1,8 @@
 package lynceus
 
 import (
+	"context"
+
 	"repro/internal/core"
 )
 
@@ -28,6 +30,11 @@ type (
 	// MultiSummary is the outcome of a whole batch, with its campaigns/sec
 	// throughput.
 	MultiSummary = core.MultiSummary
+	// CampaignFailure is the structured failure record of one campaign of a
+	// batch (MultiSummary.Failures): campaign name and index, the
+	// errors.Is-matchable cause, and whether re-running the campaign can
+	// plausibly succeed.
+	CampaignFailure = core.CampaignFailure
 )
 
 // NewShareGroup creates an empty share group, for wiring shared campaigns
@@ -105,10 +112,20 @@ func (r *MultiRunner) AddResumed(name string, cfg TunerConfig, env Environment, 
 }
 
 // Run steps every queued campaign to completion and returns the batch
-// summary. One campaign failing is recorded in its MultiResult.Err and does
-// not abort the batch. Run can only be called once per runner.
+// summary. One campaign failing is recorded in its MultiResult.Err — and as
+// a structured record in MultiSummary.Failures — and does not abort the
+// batch. Run can only be called once per runner.
 func (r *MultiRunner) Run() (MultiSummary, error) {
 	return r.inner.Run()
+}
+
+// RunContext is Run under a context: cancelling it stops every campaign at
+// its next step (between trials or between planner phases) and records the
+// cancellation as a transient CampaignFailure per unfinished campaign; the
+// partial summary is still returned. Resuming the campaigns' snapshots
+// continues them.
+func (r *MultiRunner) RunContext(ctx context.Context) (MultiSummary, error) {
+	return r.inner.RunContext(ctx)
 }
 
 // StartTunerShared is StartTuner into a share group: use it to wire shared

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke of the lynceus-serve binary: start it,
+# create and advance a small campaign over HTTP, drain with SIGTERM, restart
+# on the same state directory, and assert the campaign resumed and finishes.
+# This is the operator's happy path (deploy, roll, redeploy) as a CI gate;
+# the kill -9 path is covered by TestChaosKillRestartBitwise.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+statedir="$workdir/state"
+trap 'kill "${server_pid:-}" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/lynceus-serve" ./cmd/lynceus-serve
+
+start_server() {
+  "$workdir/lynceus-serve" -addr 127.0.0.1:0 -state-dir "$statedir" -rate -1 \
+    >"$workdir/stdout" 2>"$workdir/stderr" &
+  server_pid=$!
+  # The first stdout line announces the listening address.
+  for _ in $(seq 1 100); do
+    if [ -s "$workdir/stdout" ]; then break; fi
+    sleep 0.1
+  done
+  base="http://$(head -n1 "$workdir/stdout" | sed 's/^listening on //')"
+  if [ "$base" = "http://" ]; then
+    echo "serve_smoke: server printed no listening address" >&2
+    cat "$workdir/stderr" >&2
+    exit 1
+  fi
+}
+
+expect_status() { # expect_status <want> <got> <label>
+  if [ "$2" != "$1" ]; then
+    echo "serve_smoke: $3 returned HTTP $2, want $1" >&2
+    cat "$workdir/stderr" >&2
+    exit 1
+  fi
+}
+
+# ---- First lifetime: create, step, drain -----------------------------------
+start_server
+echo "serve_smoke: first server at $base"
+
+code=$(curl -s -o "$workdir/create.json" -w '%{http_code}' -X POST "$base/campaigns" \
+  -d '{"id":"smoke","env":{"kind":"tensorflow","name":"cnn","seed":42},
+       "tuner":{"lookahead":1},
+       "options":{"budget":2.9,"max_runtime_seconds":4000,"bootstrap_size":6,"seed":3}}')
+expect_status 201 "$code" "campaign creation"
+
+code=$(curl -s -o "$workdir/step.json" -w '%{http_code}' -X POST "$base/campaigns/smoke/step" \
+  -d '{"steps":7}')
+expect_status 200 "$code" "step request"
+trials_before=$(sed 's/.*"trials":\([0-9]*\).*/\1/' "$workdir/step.json")
+if [ "${trials_before:-0}" -lt 1 ]; then
+  echo "serve_smoke: no trials recorded before restart (body: $(cat "$workdir/step.json"))" >&2
+  exit 1
+fi
+echo "serve_smoke: $trials_before trials before restart"
+
+kill -TERM "$server_pid"
+wait "$server_pid"
+echo "serve_smoke: SIGTERM drain completed"
+
+# ---- Second lifetime: rescan, resume, finish -------------------------------
+start_server
+echo "serve_smoke: second server at $base"
+
+resumed=$(curl -s "$base/stats" | sed 's/.*"resumed_on_start":\([0-9]*\).*/\1/')
+if [ "$resumed" != "1" ]; then
+  echo "serve_smoke: resumed_on_start=$resumed, want 1" >&2
+  exit 1
+fi
+
+trials_after=$(curl -s "$base/campaigns/smoke" | sed 's/.*"trials":\([0-9]*\).*/\1/')
+if [ "$trials_after" -lt "$trials_before" ]; then
+  echo "serve_smoke: trials regressed across restart: $trials_before -> $trials_after" >&2
+  exit 1
+fi
+
+for _ in $(seq 1 60); do
+  body=$(curl -s -X POST "$base/campaigns/smoke/step" -d '{"steps":10}')
+  case "$body" in *'"done":true'*) done=1; break;; esac
+done
+if [ "${done:-0}" != "1" ]; then
+  echo "serve_smoke: campaign did not finish after restart (last body: $body)" >&2
+  exit 1
+fi
+
+code=$(curl -s -o "$workdir/rec.json" -w '%{http_code}' "$base/campaigns/smoke/recommendation")
+expect_status 200 "$code" "recommendation"
+echo "serve_smoke: campaign resumed and finished; recommendation served"
+
+kill -TERM "$server_pid"
+wait "$server_pid"
+echo "serve_smoke: PASS"
